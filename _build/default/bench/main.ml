@@ -1,0 +1,649 @@
+(* The experiment harness: regenerates every claim-bearing figure and
+   worked example of the paper (experiments E1-E10, see DESIGN.md and
+   EXPERIMENTS.md) and times the algorithms with Bechamel (B1-B7).
+
+   Usage:
+     main.exe                 run every experiment table + timing benches
+     main.exe --table E6      run one experiment
+     main.exe --bechamel      only the timing benches
+     main.exe --quick         smaller sweeps (CI-friendly)
+*)
+
+open Exchange
+module Sequencing = Trust_core.Sequencing
+module Reduce = Trust_core.Reduce
+module Execution = Trust_core.Execution
+module Feasibility = Trust_core.Feasibility
+module Indemnity = Trust_core.Indemnity
+module Cost = Trust_core.Cost
+module Table = Report.Table
+
+let quick = ref false
+
+let yes_no b = if b then "yes" else "no"
+let feasible_str b = if b then "FEASIBLE" else "infeasible"
+
+(* E1: Example #1 reduction (Figures 3 and 5, section 4.2.2) *)
+
+let e1 () =
+  Table.section "E1  Example #1 reduction (Figs. 3/5, para 4.2.2)";
+  let g = Sequencing.build Workload.Scenarios.example1 in
+  Printf.printf "sequencing graph: %d commitment nodes, %d conjunction nodes, %d edges\n\n"
+    (Sequencing.commitment_count g) (Sequencing.conjunction_count g) (Sequencing.edge_count g);
+  let outcome = Reduce.run g in
+  let rows =
+    List.map
+      (fun (d : Reduce.deletion) ->
+        let c = Sequencing.commitment g d.Reduce.cid in
+        let j = Sequencing.conjunction g d.Reduce.jid in
+        [
+          string_of_int d.Reduce.step;
+          Format.asprintf "%a" Reduce.pp_rule d.Reduce.rule;
+          Printf.sprintf "%s|%s -- AND %s"
+            (Party.name c.Sequencing.agent)
+            (Party.name c.Sequencing.principal)
+            (Party.name j.Sequencing.owner);
+          Format.asprintf "%a" Sequencing.pp_colour d.Reduce.colour;
+        ])
+      outcome.Reduce.deletions
+  in
+  Table.print ~header:[ "step"; "rule"; "edge"; "colour" ] rows;
+  Printf.printf "\nverdict: %s   (paper: feasible, all six edges removed)\n"
+    (feasible_str (Reduce.feasible outcome))
+
+(* E2: the section-5 execution sequence *)
+
+let e2 () =
+  Table.section "E2  Example #1 execution sequence (para 5)";
+  let analysis = Feasibility.analyze Workload.Scenarios.example1 in
+  match analysis.Feasibility.sequence with
+  | None -> print_endline "UNEXPECTED: infeasible"
+  | Some seq ->
+    let expected = Workload.Scenarios.paper_example1_actions in
+    let rows =
+      List.mapi
+        (fun i step ->
+          let paper = List.nth_opt expected i in
+          [
+            string_of_int (i + 1);
+            Action.to_string step.Execution.action;
+            (match paper with
+            | Some a when Action.equal a step.Execution.action -> "=="
+            | Some a -> "PAPER: " ^ Action.to_string a
+            | None -> "(extra)");
+          ])
+        seq.Execution.steps
+    in
+    Table.print ~header:[ "#"; "synthesized action"; "vs paper" ] rows;
+    let matches =
+      List.length expected = List.length seq.Execution.steps
+      && List.for_all2 Action.equal (Execution.actions seq) expected
+    in
+    Printf.printf "\nexact match with the paper's ten steps: %s\n" (yes_no matches)
+
+(* E3: Example #2 impasse (Figures 4 and 6) *)
+
+let e3 () =
+  Table.section "E3  Example #2 impasse (Figs. 4/6, para 4.2.2)";
+  let g = Sequencing.build Workload.Scenarios.example2 in
+  let edges0 = Sequencing.edge_count g in
+  let outcome = Reduce.run g in
+  let remaining =
+    match outcome.Reduce.verdict with
+    | Reduce.Feasible -> 0
+    | Reduce.Stuck { remaining } -> List.length remaining
+  in
+  Table.print
+    ~header:[ "quantity"; "measured"; "paper" ]
+    [
+      [ "edges in figure 4"; string_of_int edges0; "14" ];
+      [ "deletions before impasse"; string_of_int (List.length outcome.Reduce.deletions); "4" ];
+      [ "edges stuck (figure 6)"; string_of_int remaining; "10" ];
+      [ "feasible"; yes_no (Reduce.feasible outcome); "no" ];
+    ]
+
+(* E4: direct-trust variants (para 4.2.3) *)
+
+let e4 () =
+  Table.section "E4  Trust asymmetry (para 4.2.3)";
+  let row name spec paper =
+    [ name; feasible_str (Feasibility.is_feasible spec); paper ]
+  in
+  Table.print
+    ~header:[ "variant"; "measured"; "paper" ]
+    [
+      row "example #2 (no direct trust)" Workload.Scenarios.example2 "infeasible";
+      row "source1 trusts broker1" Workload.Scenarios.example2_source_trusts_broker "feasible";
+      row "broker1 trusts source1" Workload.Scenarios.example2_broker_trusts_source "infeasible";
+    ]
+
+(* E5: the poor broker (para 5, end) *)
+
+let e5 () =
+  Table.section "E5  Poor broker (para 5)";
+  let outcome = Reduce.run (Sequencing.build Workload.Scenarios.example1_poor_broker) in
+  let reds_stuck =
+    match outcome.Reduce.verdict with
+    | Reduce.Feasible -> 0
+    | Reduce.Stuck { remaining } ->
+      List.length (List.filter (fun (_, _, c) -> c = Sequencing.Red) remaining)
+  in
+  Table.print
+    ~header:[ "quantity"; "measured"; "paper" ]
+    [
+      [ "feasible"; yes_no (Reduce.feasible outcome); "no" ];
+      [ "mutually pre-empting red edges"; string_of_int reds_stuck; "2" ];
+    ]
+
+(* E6: Figure 7 indemnity orderings *)
+
+let e6 () =
+  Table.section "E6  Indemnity orderings (Fig. 7, para 6)";
+  let spec = Workload.Scenarios.fig7 in
+  let owner = Workload.Scenarios.fig7_consumer in
+  let describe plan =
+    String.concat ", "
+      (List.map
+         (fun o ->
+           Printf.sprintf "%s sets %s aside"
+             (Party.name o.Indemnity.offered_by)
+             (Table.money o.Indemnity.amount))
+         plan.Indemnity.offers)
+  in
+  let worst = Indemnity.plan_worst spec ~owner in
+  let greedy = Indemnity.plan_greedy spec ~owner in
+  Table.print
+    ~header:[ "ordering"; "offers"; "total"; "paper" ]
+    [
+      [ "order #1 (worst)"; describe worst; Table.money worst.Indemnity.total; "$90" ];
+      [ "order #2 (greedy)"; describe greedy; Table.money greedy.Indemnity.total; "$70" ];
+      [
+        "exhaustive minimum";
+        "(all orderings)";
+        Table.money (Indemnity.exhaustive_minimum spec ~owner);
+        "$70";
+      ];
+    ];
+  let split = Indemnity.apply greedy spec in
+  Printf.printf "\nfig7 without indemnities: %s; with the greedy plan: %s\n"
+    (feasible_str (Feasibility.is_feasible spec))
+    (feasible_str (Feasibility.is_feasible split))
+
+(* E7: cost of mistrust (para 8) *)
+
+let e7 () =
+  Table.section "E7  Cost of mistrust (para 8)";
+  let tally_of spec =
+    match (Feasibility.analyze spec).Feasibility.sequence with
+    | Some seq -> Some (Cost.tally_sequence seq)
+    | None -> None
+  in
+  let show = function
+    | Some t ->
+      Printf.sprintf "%d (%d xfer + %d ntf)" t.Cost.total t.Cost.transfers t.Cost.notifications
+    | None -> "infeasible"
+  in
+  let row name spec =
+    let mediated = tally_of spec in
+    let direct = tally_of (Cost.with_all_direct_trust spec) in
+    let universal = Cost.universal_tally spec in
+    let simulated =
+      let result, _ = Trust_sim.Harness.universal_run spec in
+      List.length result.Trust_sim.Engine.log
+    in
+    [
+      name;
+      show mediated;
+      show direct;
+      Printf.sprintf "%d (simulated %d)" universal.Cost.total simulated;
+    ]
+  in
+  Table.print
+    ~header:[ "exchange"; "pairwise escrow"; "full direct trust"; "universal agent" ]
+    [
+      row "simple sale" Workload.Scenarios.simple_sale;
+      row "example #1 (1 broker)" Workload.Scenarios.example1;
+      row "chain, 3 brokers" (Workload.Gen.chain ~brokers:3);
+      row "chain, 8 brokers" (Workload.Gen.chain ~brokers:8);
+      row "example #2" Workload.Scenarios.example2;
+      row "fig. 7" Workload.Scenarios.fig7;
+    ];
+  print_newline ();
+  print_string
+    (Table.kv
+       [
+         ("paper claim", "2 messages per trusting pair vs 4 through an intermediary");
+         ("measured", "2 transfers/deal direct vs 4 transfers + 1 notification/deal mediated");
+         ("universal agent", "always feasible, 4 transfers/deal, no notifications");
+       ])
+
+(* E8: simulated safety (paras 1, 2.3) *)
+
+let e8 () =
+  Table.section "E8  Simulated safety under defection (paras 1/2.3)";
+  let scenarios =
+    List.filter (fun (_, s) -> Feasibility.is_feasible s) Workload.Scenarios.all
+    @ [ ("chain3", Workload.Gen.chain ~brokers:3); ("bundle3", Workload.Gen.bundle ~docs:3) ]
+  in
+  let fig7 = Workload.Scenarios.fig7 in
+  let fig7_plan = Indemnity.plan_greedy fig7 ~owner:Workload.Scenarios.fig7_consumer in
+  let run_sweep name spec plan =
+    let defectors = Trust_sim.Harness.defectable_principals spec in
+    let modes =
+      [ Trust_sim.Harness.Silent; Trust_sim.Harness.Partial 1; Trust_sim.Harness.Partial 2 ]
+    in
+    let runs = ref 0 and no_loss = ref 0 and acceptable = ref 0 in
+    List.iter
+      (fun defector ->
+        List.iter
+          (fun mode ->
+            match
+              Trust_sim.Harness.adversarial_run ?plan ~defectors:[ (defector, mode) ] spec
+            with
+            | Error _ -> ()
+            | Ok result ->
+              incr runs;
+              let report = Trust_sim.Audit.audit spec ?plan ~defectors:[ defector ] result in
+              if report.Trust_sim.Audit.honest_no_loss then incr no_loss;
+              if report.Trust_sim.Audit.honest_all_acceptable then incr acceptable)
+          modes)
+      defectors;
+    let preferred =
+      match Trust_sim.Harness.honest_run ?plan spec with
+      | Ok result -> (Trust_sim.Audit.audit spec ?plan result).Trust_sim.Audit.all_preferred
+      | Error _ -> false
+    in
+    [
+      name;
+      yes_no preferred;
+      Printf.sprintf "%d/%d" !no_loss !runs;
+      Printf.sprintf "%d/%d" !acceptable !runs;
+    ]
+  in
+  let rows =
+    List.map (fun (name, spec) -> run_sweep name spec None) scenarios
+    @ [ run_sweep "fig7 + greedy indemnities" fig7 (Some fig7_plan) ]
+  in
+  Table.print
+    ~header:
+      [ "scenario"; "honest run preferred"; "no-loss (defection)"; "acceptable (defection)" ]
+    rows;
+  print_newline ();
+  print_string
+    (Table.kv
+       [
+         ("reading", "no-loss = nobody loses an asset (the para-1 guarantee, unconditional)");
+         ("", "acceptable = bundles also stay all-or-nothing; needs escrowed or indemnified pieces");
+       ])
+
+(* E9: Petri-net baseline (para 7.4) *)
+
+let e9 () =
+  Table.section "E9  Petri-net baseline (para 7.4)";
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        let verdict, stats = Petri.Encode.feasible (Petri.Encode.of_spec spec) in
+        let graph = Feasibility.is_feasible spec in
+        let petri =
+          match verdict with
+          | `Feasible -> "feasible"
+          | `Infeasible -> "infeasible"
+          | `Unknown -> "unknown"
+        in
+        [
+          name;
+          feasible_str graph;
+          petri;
+          string_of_int stats.Petri.Analysis.explored;
+          yes_no ((verdict = `Feasible) = graph);
+        ])
+      Workload.Scenarios.all
+  in
+  Table.print ~header:[ "scenario"; "graph reduction"; "petri search"; "states"; "agree" ] rows;
+  Printf.printf "\nstate-space growth (reduction-order interleavings of a k-document bundle):\n\n";
+  let ks = if !quick then [ 1; 2; 3; 4; 5 ] else [ 1; 2; 3; 4; 5; 6; 7; 8 ] in
+  let rows =
+    List.map
+      (fun k ->
+        let spec = Workload.Gen.bundle ~docs:k in
+        let states =
+          match Petri.Encode.reduction_orders (Petri.Encode.of_spec spec) with
+          | Some n -> string_of_int n
+          | None -> ">bound"
+        in
+        let deletions = List.length (Reduce.run (Sequencing.build spec)).Reduce.deletions in
+        [ string_of_int k; states; string_of_int deletions ])
+      ks
+  in
+  Table.print ~header:[ "k"; "petri states (exhaustive)"; "greedy deletions" ] rows;
+  print_endline "\nshape: exhaustive exploration grows ~4^k; the greedy reduction stays linear."
+
+(* E10: generalization sweeps *)
+
+let e10 () =
+  Table.section "E10  Feasibility phase diagram (paras 3.2/6/8)";
+  print_endline "broker chains (always feasible; 5 messages per deal):\n";
+  let ns = if !quick then [ 0; 1; 2; 4; 8 ] else [ 0; 1; 2; 4; 8; 16; 32 ] in
+  Table.print
+    ~header:[ "brokers"; "feasible"; "messages"; "messages (direct trust)" ]
+    (List.map
+       (fun n ->
+         let msg spec =
+           match (Feasibility.analyze spec).Feasibility.sequence with
+           | Some seq -> string_of_int (Execution.message_count seq)
+           | None -> "-"
+         in
+         [
+           string_of_int n;
+           yes_no (Feasibility.is_feasible (Workload.Gen.chain ~brokers:n));
+           msg (Workload.Gen.chain ~brokers:n);
+           msg (Workload.Gen.chain_direct ~brokers:n);
+         ])
+       ns);
+  print_endline
+    "\ndocument fans (infeasible for k>=2 until indemnified; greedy total = (k-2)S + min):\n";
+  let ks = if !quick then [ 1; 2; 3; 4 ] else [ 1; 2; 3; 4; 5; 6 ] in
+  Table.print
+    ~header:[ "k"; "feasible bare"; "greedy indemnity"; "formula"; "feasible after" ]
+    (List.map
+       (fun k ->
+         let prices = List.init k (fun i -> Asset.dollars (10 * (i + 1))) in
+         let spec = Workload.Gen.fan ~prices in
+         let s = List.fold_left ( + ) 0 prices in
+         let formula = if k < 2 then 0 else ((k - 2) * s) + List.fold_left min max_int prices in
+         let plan = Indemnity.plan_greedy spec ~owner:Workload.Gen.fan_consumer in
+         [
+           string_of_int k;
+           yes_no (Feasibility.is_feasible spec);
+           Table.money plan.Indemnity.total;
+           Table.money formula;
+           yes_no (Feasibility.is_feasible (Indemnity.apply plan spec));
+         ])
+       ks);
+  print_endline "\nfeasibility rate vs direct-trust density (random transaction mix):\n";
+  let samples = if !quick then 100 else 400 in
+  Table.print
+    ~header:[ "trust density"; "feasible"; "rescuable by indemnities" ]
+    (List.map
+       (fun density ->
+         let rng = Workload.Prng.create 2026L in
+         let mix = { Workload.Gen.default_mix with Workload.Gen.trust_density = density } in
+         let specs = Workload.Gen.random_transactions rng mix samples in
+         let feasible = List.length (List.filter Feasibility.is_feasible specs) in
+         let rescuable =
+           List.length (List.filter (fun s -> Feasibility.rescue_with_indemnities s <> None) specs)
+         in
+         [
+           Printf.sprintf "%.1f" density;
+           Printf.sprintf "%3d%%" (100 * feasible / samples);
+           Printf.sprintf "%3d%%" (100 * rescuable / samples);
+         ])
+       [ 0.0; 0.2; 0.4; 0.6; 0.8; 1.0 ])
+
+(* E11: the section-9 extensions *)
+
+let e11 () =
+  Table.section "E11  Extensions (para 9: shared agents, trust webs, deadlines)";
+  print_endline "an agent trusted by more than two parties (shared-agent bundle):\n";
+  let c = Party.consumer "c" and t = Party.trusted "t" in
+  let shared_bundle =
+    Spec.make_exn
+      [
+        Spec.sale ~id:"a" ~buyer:c ~seller:(Party.producer "p1") ~via:t
+          ~price:(Asset.dollars 10) ~good:"d1";
+        Spec.sale ~id:"b" ~buyer:c ~seller:(Party.producer "p2") ~via:t
+          ~price:(Asset.dollars 20) ~good:"d2";
+      ]
+  in
+  Table.print
+    ~header:[ "analysis"; "verdict" ]
+    [
+      [ "paper rules (monolithic agent conjunction)"; feasible_str (Feasibility.is_feasible shared_bundle) ];
+      [ "extended rules (Rule #3 + atomic agent)"; feasible_str (Feasibility.is_feasible ~shared:true shared_bundle) ];
+    ];
+  print_endline "\nhierarchy of trust: routed batch over a web (two trust domains):\n";
+  let module Routing = Trust_core.Routing in
+  let alice = Party.consumer "alice" and bob = Party.producer "bob" in
+  let dave = Party.producer "dave" in
+  let carol = Party.broker "carol" and dora = Party.broker "dora" in
+  let bank = Party.trusted "bank" and notary = Party.trusted "notary" in
+  let trusts =
+    Routing.mutual alice bank
+    @ Routing.mutual carol bank @ Routing.mutual carol notary
+    @ Routing.mutual dora bank @ Routing.mutual dora notary
+    @ Routing.mutual bob notary @ Routing.mutual dave notary
+  in
+  let requests =
+    [
+      Routing.{ id = "x"; buyer = alice; seller = bob; price = Asset.dollars 10; good = "dx" };
+      Routing.{ id = "y"; buyer = alice; seller = dave; price = Asset.dollars 20; good = "dy" };
+    ]
+  in
+  (match Routing.connect ~relays:[ carol; dora ] ~trusts requests with
+  | Error e -> print_endline ("routing failed: " ^ e)
+  | Ok routed ->
+    List.iter
+      (fun (id, route) -> Format.printf "  %-3s %a@." id Routing.pp_routing route)
+      routed.Routing.routes;
+    let spec = routed.Routing.spec in
+    let rescue = Feasibility.rescue_with_indemnities ~shared:true spec in
+    Table.print
+      ~header:[ "analysis"; "verdict" ]
+      [
+        [ "bare (either rule set)"; feasible_str (Feasibility.is_feasible ~shared:true spec) ];
+        [
+          "with the indemnity rescue (granular agents)";
+          (match rescue with
+          | Some r ->
+            Printf.sprintf "FEASIBLE at %s escrowed"
+              (Table.money (Feasibility.total_indemnity r))
+          | None -> "unrescuable");
+        ];
+      ]);
+  print_endline "\nper-deal deadlines (para 2.2): a 3-tick inner escrow in example #1:\n";
+  let b = Party.broker "b" and p = Party.producer "p" and c = Party.consumer "c" in
+  let t1 = Party.trusted "t1" and t2 = Party.trusted "t2" in
+  let tight =
+    Spec.make_exn
+      ~priorities:[ (b, { Spec.deal = "cb"; side = Spec.Right }) ]
+      [
+        Spec.with_deadline 3
+          (Spec.sale ~id:"bp" ~buyer:b ~seller:p ~via:t2 ~price:(Asset.dollars 8) ~good:"d");
+        Spec.sale ~id:"cb" ~buyer:c ~seller:b ~via:t1 ~price:(Asset.dollars 10) ~good:"d";
+      ]
+  in
+  (match Trust_sim.Harness.honest_run tight with
+  | Error e -> print_endline e
+  | Ok result ->
+    let report = Trust_sim.Audit.audit tight result in
+    Table.print
+      ~header:[ "outcome"; "value" ]
+      [
+        [ "deliveries before/after expiry"; string_of_int (List.length result.Trust_sim.Engine.log) ];
+        [ "preferred outcome reached"; yes_no report.Trust_sim.Audit.all_preferred ];
+        [ "any honest asset lost"; yes_no (not report.Trust_sim.Audit.honest_no_loss) ];
+      ];
+    print_endline
+      "the partial exchange expires and unwinds: nobody completes, nobody loses.")
+
+(* E12: exposure profiles — the asset-at-risk side of the cost of
+   mistrust *)
+
+let e12 () =
+  Table.section "E12  Exposure profiles (risk over time, para 8 extended)";
+  let module Trace = Trust_sim.Trace in
+  let trace_of ?plan spec =
+    match Trust_sim.Harness.honest_run ?plan spec with
+    | Ok result -> Some (Trace.of_result spec result)
+    | Error _ -> None
+  in
+  let row name ?plan spec =
+    match trace_of ?plan spec with
+    | None -> [ name; "infeasible"; "-"; "-" ]
+    | Some trace ->
+      let peaks =
+        List.map
+          (fun party -> Printf.sprintf "%s=%s" (Party.name party) (Table.money (Trace.peak_exposure trace party)))
+          (Spec.principals spec)
+      in
+      [
+        name;
+        string_of_int (Trace.duration trace);
+        Table.money (Trace.total_peak_exposure trace);
+        String.concat " " peaks;
+      ]
+  in
+  let fig7 = Workload.Scenarios.fig7 in
+  let fig7_plan = Indemnity.plan_greedy fig7 ~owner:Workload.Scenarios.fig7_consumer in
+  Table.print
+    ~header:[ "run"; "ticks"; "total peak exposure"; "per-principal peaks" ]
+    [
+      row "example #1 (mediated)" Workload.Scenarios.example1;
+      row "example #1 (direct trust)" (Cost.with_all_direct_trust Workload.Scenarios.example1);
+      row "chain, 3 brokers" (Workload.Gen.chain ~brokers:3);
+      row "bundle, 3 documents" (Workload.Gen.bundle ~docs:3);
+      row "fig7 + indemnities" ~plan:fig7_plan fig7;
+    ];
+  print_newline ();
+  print_string
+    (Table.kv
+       [
+         ( "peak exposure",
+           "the worst uncovered position a party is ever in (outlay - received value)" );
+         ("invariant", "honest runs always end fully covered; tests extend this to defection runs");
+       ])
+
+(* Bechamel timing benches *)
+
+let bechamel_benches () =
+  Table.section "B  Bechamel timing (ns/run, ordinary least squares)";
+  let open Bechamel in
+  let chain_specs = List.map (fun n -> (n, Workload.Gen.chain ~brokers:n)) [ 10; 100; 1000 ] in
+  let fan_specs =
+    List.map
+      (fun k -> (k, Workload.Gen.fan ~prices:(List.init k (fun i -> Asset.dollars (i + 1)))))
+      [ 10; 100 ]
+  in
+  (* Reduction benches run on a copy of a prebuilt graph so they time
+     the reducers, not the (quadratic) graph construction; B0 reports
+     construction separately. *)
+  let prebuilt = List.map (fun (n, spec) -> (n, Sequencing.build spec)) chain_specs in
+  let prebuilt_fans = List.map (fun (k, spec) -> (k, Sequencing.build spec)) fan_specs in
+  let tests =
+    [
+      (let spec = Workload.Gen.chain ~brokers:1000 in
+       Test.make ~name:"B0 build sequencing graph, chain 1000"
+         (Staged.stage (fun () -> ignore (Sequencing.build spec))));
+    ]
+    @ List.map
+        (fun (n, g0) ->
+          Test.make
+            ~name:(Printf.sprintf "B1 reduce chain %d" n)
+            (Staged.stage (fun () -> ignore (Reduce.run (Sequencing.copy g0)))))
+        prebuilt
+    @ List.map
+        (fun (k, g0) ->
+          Test.make
+            ~name:(Printf.sprintf "B2 reduce fan %d" k)
+            (Staged.stage (fun () -> ignore (Reduce.run (Sequencing.copy g0)))))
+        prebuilt_fans
+    @ [
+        (let g0 = Sequencing.build (Workload.Gen.chain ~brokers:100) in
+         let rng = Workload.Prng.create 7L in
+         Test.make ~name:"B3 randomized-order reduce chain 100"
+           (Staged.stage (fun () ->
+                ignore
+                  (Reduce.run_randomized
+                     ~choose:(fun n -> Workload.Prng.int rng n)
+                     (Sequencing.copy g0)))));
+        (let spec = Workload.Gen.fan ~prices:(List.init 100 (fun i -> Asset.dollars (i + 1))) in
+         Test.make ~name:"B4 indemnity plan fan 100"
+           (Staged.stage (fun () ->
+                ignore (Indemnity.plan_greedy spec ~owner:Workload.Gen.fan_consumer))));
+        (let spec = Workload.Gen.bundle ~docs:5 in
+         Test.make ~name:"B5 petri exhaustive bundle 5"
+           (Staged.stage (fun () -> ignore (Petri.Encode.feasible (Petri.Encode.of_spec spec)))));
+        (let spec = Workload.Gen.chain ~brokers:50 in
+         Test.make ~name:"B6 simulate honest chain 50"
+           (Staged.stage (fun () ->
+                match Trust_sim.Harness.honest_run spec with
+                | Ok _ -> ()
+                | Error e -> failwith e)));
+        (let src = Trust_lang.Printer.to_string (Workload.Gen.chain ~brokers:100) in
+         Test.make ~name:"B7 parse+elaborate chain 100"
+           (Staged.stage (fun () ->
+                match Trust_lang.Elaborate.from_string src with
+                | Ok _ -> ()
+                | Error e -> failwith e)));
+      ]
+    @ List.map
+        (fun (n, g0) ->
+          Test.make
+            ~name:(Printf.sprintf "B8 worklist reduce chain %d (ablation)" n)
+            (Staged.stage (fun () -> ignore (Reduce.run_worklist (Sequencing.copy g0)))))
+        prebuilt
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second (if !quick then 0.25 else 1.0)) ~kde:(Some 1000)
+      ()
+  in
+  let rows =
+    List.concat_map
+      (fun test ->
+        let results = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"g" [ test ]) in
+        let analyzed = Analyze.all ols instance results in
+        Hashtbl.fold
+          (fun name ols acc ->
+            let nanos =
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.sprintf "%.0f" est
+              | Some _ | None -> "n/a"
+            in
+            [ name; nanos ] :: acc)
+          analyzed [])
+      tests
+  in
+  Table.print ~header:[ "bench"; "ns/run" ] rows
+
+(* driver *)
+
+let experiments =
+  [
+    ("E1", e1);
+    ("E2", e2);
+    ("E3", e3);
+    ("E4", e4);
+    ("E5", e5);
+    ("E6", e6);
+    ("E7", e7);
+    ("E8", e8);
+    ("E9", e9);
+    ("E10", e10);
+    ("E11", e11);
+    ("E12", e12);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv in
+  if List.mem "--quick" args then quick := true;
+  let table =
+    let rec find = function
+      | "--table" :: id :: _ -> Some id
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  (match table with
+  | Some id -> (
+    match List.assoc_opt id experiments with
+    | Some run -> run ()
+    | None ->
+      Printf.eprintf "unknown experiment %s (E1..E12)\n" id;
+      exit 2)
+  | None when List.mem "--bechamel" args -> ()
+  | None -> List.iter (fun (_, run) -> run ()) experiments);
+  if List.mem "--bechamel" args || table = None then bechamel_benches ()

@@ -1,0 +1,409 @@
+(* trustseq — analyze, sequence, indemnify, simulate and render
+   distributed-commerce exchange problems written in the trust DSL. *)
+
+open Cmdliner
+open Exchange
+module Feasibility = Trust_core.Feasibility
+module Reduce = Trust_core.Reduce
+module Sequencing = Trust_core.Sequencing
+module Execution = Trust_core.Execution
+module Indemnity = Trust_core.Indemnity
+module Cost = Trust_core.Cost
+
+let load path =
+  match path with
+  | "-" -> Trust_lang.Elaborate.from_string (In_channel.input_all stdin)
+  | path -> Trust_lang.Elaborate.from_file path
+
+let or_die = function
+  | Ok v -> v
+  | Error message ->
+    prerr_endline ("trustseq: " ^ message);
+    exit 2
+
+let file_arg =
+  let doc = "Exchange specification file in the trust DSL ('-' for stdin)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+
+let party_of_spec spec name =
+  match List.find_opt (fun p -> String.equal (Party.name p) name) (Spec.parties spec) with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "no party named %s in the specification" name)
+
+(* check *)
+
+let check_cmd =
+  let run file verbose =
+    let spec = or_die (load file) in
+    let analysis = Feasibility.analyze spec in
+    if verbose then Format.printf "%a@.@." Reduce.pp_outcome analysis.Feasibility.outcome;
+    match analysis.Feasibility.outcome.Reduce.verdict with
+    | Reduce.Feasible ->
+      print_endline "FEASIBLE";
+      0
+    | Reduce.Stuck { remaining } ->
+      Printf.printf "INFEASIBLE (%d edges stuck)\n" (List.length remaining);
+      List.iter
+        (fun owner -> Printf.printf "  blocking conjunction: %s\n" (Party.to_string owner))
+        (Feasibility.blocking_conjunctions analysis);
+      1
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the reduction deletion log.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Decide feasibility by sequencing-graph reduction (exit 1 if stuck).")
+    Term.(const run $ file_arg $ verbose)
+
+(* sequence *)
+
+let sequence_cmd =
+  let run file =
+    let spec = or_die (load file) in
+    let analysis = Feasibility.analyze spec in
+    match analysis.Feasibility.sequence with
+    | Some seq ->
+      Format.printf "%a@." Execution.pp seq;
+      0
+    | None ->
+      prerr_endline "trustseq: infeasible exchange, no execution sequence exists";
+      1
+  in
+  Cmd.v
+    (Cmd.info "sequence" ~doc:"Print the protective execution sequence of a feasible exchange.")
+    Term.(const run $ file_arg)
+
+(* indemnify *)
+
+let indemnify_cmd =
+  let run file owner =
+    let spec = or_die (load file) in
+    match owner with
+    | Some name ->
+      let party = or_die (party_of_spec spec name) in
+      if not (Indemnity.splittable spec ~owner:party) then begin
+        prerr_endline "trustseq: that conjunction cannot be split by indemnities (§6)";
+        1
+      end
+      else begin
+        let greedy = Indemnity.plan_greedy spec ~owner:party in
+        let worst = Indemnity.plan_worst spec ~owner:party in
+        Format.printf "%a@." Indemnity.pp_plan greedy;
+        Format.printf "(worst ordering would cost %a)@." Asset.pp_money worst.Indemnity.total;
+        0
+      end
+    | None -> (
+      match Feasibility.rescue_with_indemnities spec with
+      | Some rescue ->
+        List.iter (fun plan -> Format.printf "%a@." Indemnity.pp_plan plan) rescue.Feasibility.plans;
+        Format.printf "total indemnity: %a — exchange now FEASIBLE@." Asset.pp_money
+          (Feasibility.total_indemnity rescue);
+        0
+      | None ->
+        prerr_endline "trustseq: no indemnity plan makes this exchange feasible";
+        1)
+  in
+  let owner =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "owner" ] ~docv:"PARTY"
+          ~doc:"Plan indemnities for this party's conjunction only (default: automatic rescue).")
+  in
+  Cmd.v
+    (Cmd.info "indemnify" ~doc:"Compute minimal indemnities that enable an infeasible exchange.")
+    Term.(const run $ file_arg $ owner)
+
+(* simulate *)
+
+let defection_conv =
+  let parse s =
+    match String.split_on_char ':' s with
+    | [ name ] | [ name; "silent" ] -> Ok (name, Trust_sim.Harness.Silent)
+    | [ name; mode ] -> (
+      match String.split_on_char '=' mode with
+      | [ "partial"; n ] -> (
+        match int_of_string_opt n with
+        | Some n -> Ok (name, Trust_sim.Harness.Partial n)
+        | None -> Error (`Msg "partial=N needs an integer"))
+      | _ -> Error (`Msg "defection is NAME[:silent|:partial=N]"))
+    | _ -> Error (`Msg "defection is NAME[:silent|:partial=N]")
+  in
+  let print ppf (name, mode) =
+    match mode with
+    | Trust_sim.Harness.Silent -> Format.fprintf ppf "%s:silent" name
+    | Trust_sim.Harness.Partial n -> Format.fprintf ppf "%s:partial=%d" name n
+  in
+  Arg.conv (parse, print)
+
+let simulate_cmd =
+  let run file defections rescue verbose =
+    let spec = or_die (load file) in
+    let plan =
+      if rescue then
+        match Feasibility.rescue_with_indemnities spec with
+        | Some r -> (
+          match r.Feasibility.plans with
+          | [ plan ] -> Some plan
+          | [] -> None
+          | plans ->
+            (* merge into one plan for the run *)
+            Some
+              Indemnity.
+                {
+                  offers = List.concat_map (fun p -> p.offers) plans;
+                  total = List.fold_left (fun a p -> a + p.total) 0 plans;
+                })
+        | None -> None
+      else None
+    in
+    let defectors =
+      List.map (fun (name, mode) -> (or_die (party_of_spec spec name), mode)) defections
+    in
+    match Trust_sim.Harness.adversarial_run ?plan ~defectors spec with
+    | Error message ->
+      prerr_endline ("trustseq: " ^ message);
+      1
+    | Ok result ->
+      if verbose then Format.printf "%a@.@." Trust_sim.Engine.pp_result result;
+      let report =
+        Trust_sim.Audit.audit spec ?plan ~defectors:(List.map fst defectors) result
+      in
+      Format.printf "%a@." Trust_sim.Audit.pp_report report;
+      if report.Trust_sim.Audit.honest_all_acceptable then 0 else 1
+  in
+  let defections =
+    Arg.(
+      value & opt_all defection_conv []
+      & info [ "defect" ] ~docv:"PARTY[:MODE]"
+          ~doc:"Make a party defect: ':silent' (default) or ':partial=N'. Repeatable.")
+  in
+  let rescue =
+    Arg.(value & flag & info [ "indemnify" ] ~doc:"Apply the automatic indemnity rescue first.")
+  in
+  let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the delivery log.") in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the synthesized protocol in the discrete-event runtime and audit outcomes.")
+    Term.(const run $ file_arg $ defections $ rescue $ verbose)
+
+(* render *)
+
+let render_cmd =
+  let run file kind reduced format =
+    let spec = or_die (load file) in
+    (match kind with
+    | `Interaction -> print_string (Interaction.to_dot (Interaction.of_spec spec))
+    | `Sequencing -> (
+      let g = Sequencing.build spec in
+      if reduced then ignore (Reduce.run g);
+      match format with
+      | `Dot -> print_string (Sequencing.to_dot g)
+      | `Ascii -> print_string (Sequencing.to_ascii g)));
+    0
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("interaction", `Interaction); ("sequencing", `Sequencing) ]) `Sequencing
+      & info [ "graph" ] ~docv:"KIND" ~doc:"Which graph to render: interaction or sequencing.")
+  in
+  let reduced =
+    Arg.(value & flag & info [ "reduced" ] ~doc:"Render the graph after reduction (Figs. 5-6).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("dot", `Dot); ("ascii", `Ascii) ]) `Dot
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: dot (Graphviz) or ascii (terminal).")
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Emit the interaction or sequencing graph as Graphviz DOT or ASCII.")
+    Term.(const run $ file_arg $ kind $ reduced $ format)
+
+(* cost *)
+
+let cost_cmd =
+  let run file =
+    let spec = or_die (load file) in
+    let describe label spec' =
+      match (Feasibility.analyze spec').Feasibility.sequence with
+      | Some seq -> (label, Format.asprintf "%a" Cost.pp_tally (Cost.tally_sequence seq))
+      | None -> (label, "infeasible")
+    in
+    let rows =
+      [
+        describe "pairwise intermediaries" spec;
+        describe "full direct trust" (Cost.with_all_direct_trust spec);
+        ( "universal intermediary",
+          Format.asprintf "%a" Cost.pp_tally (Cost.universal_tally spec) );
+      ]
+    in
+    print_string (Report.Table.kv rows);
+    0
+  in
+  Cmd.v
+    (Cmd.info "cost" ~doc:"Compare message costs across trust regimes (paper section 8).")
+    Term.(const run $ file_arg)
+
+(* exposure *)
+
+let exposure_cmd =
+  let run file rescue =
+    let spec = or_die (load file) in
+    let plan =
+      if rescue then
+        match Feasibility.rescue_with_indemnities spec with
+        | Some r -> (
+          match r.Feasibility.plans with
+          | [ plan ] -> Some plan
+          | plans ->
+            Some
+              Indemnity.
+                {
+                  offers = List.concat_map (fun p -> p.offers) plans;
+                  total = Feasibility.total_indemnity r;
+                })
+        | None -> None
+      else None
+    in
+    match Trust_sim.Harness.honest_run ?plan spec with
+    | Error message ->
+      prerr_endline ("trustseq: " ^ message);
+      1
+    | Ok result ->
+      let module Trace = Trust_sim.Trace in
+      let trace = Trace.of_result spec result in
+      List.iter
+        (fun party ->
+          Format.printf "%s (peak %a):@.%a@." (Party.to_string party) Asset.pp_money
+            (Trace.peak_exposure trace party)
+            Trace.pp_profile
+            (Trace.exposure_profile trace party))
+        (Spec.principals spec);
+      Format.printf "total peak exposure: %a over %d ticks@." Asset.pp_money
+        (Trace.total_peak_exposure trace) (Trace.duration trace);
+      0
+  in
+  let rescue =
+    Arg.(value & flag & info [ "indemnify" ] ~doc:"Apply the automatic indemnity rescue first.")
+  in
+  Cmd.v
+    (Cmd.info "exposure"
+       ~doc:"Run honestly and print each principal's asset-at-risk profile over time.")
+    Term.(const run $ file_arg $ rescue)
+
+(* route *)
+
+let route_cmd =
+  let run file simulate =
+    let src =
+      match file with
+      | "-" -> In_channel.input_all stdin
+      | path -> (
+        match In_channel.with_open_text path In_channel.input_all with
+        | src -> src
+        | exception Sys_error m ->
+          prerr_endline ("trustseq: " ^ m);
+          exit 2)
+    in
+    let web = or_die (Trust_lang.Elaborate.web_from_string src) in
+    let module Routing = Trust_core.Routing in
+    let trusts =
+      List.map (fun (a, b) -> Routing.{ truster = a; trustee = b }) web.Trust_lang.Elaborate.trusts
+    in
+    let requests =
+      List.map
+        (fun (id, buyer, good, seller, price) -> Routing.{ id; buyer; seller; price; good })
+        web.Trust_lang.Elaborate.requests
+    in
+    match Routing.connect ~relays:web.Trust_lang.Elaborate.relays ~trusts requests with
+    | Error message ->
+      prerr_endline ("trustseq: " ^ message);
+      1
+    | Ok routed ->
+      List.iter
+        (fun (id, route) -> Format.printf "%-10s %a@." id Routing.pp_routing route)
+        routed.Routing.routes;
+      print_newline ();
+      print_string (Trust_lang.Printer.to_string routed.Routing.spec);
+      print_newline ();
+      let spec = routed.Routing.spec in
+      let plan, verdict =
+        if Feasibility.is_feasible ~shared:true spec then (None, "FEASIBLE")
+        else
+          match Feasibility.rescue_with_indemnities ~shared:true spec with
+          | Some rescue ->
+            let plan =
+              match rescue.Feasibility.plans with
+              | [ plan ] -> Some plan
+              | plans ->
+                Some
+                  Indemnity.
+                    {
+                      offers = List.concat_map (fun p -> p.offers) plans;
+                      total = Feasibility.total_indemnity rescue;
+                    }
+            in
+            ( plan,
+              Printf.sprintf "FEASIBLE with %s of indemnities"
+                (Report.Table.money (Feasibility.total_indemnity rescue)) )
+          | None -> (None, "INFEASIBLE")
+      in
+      (match plan with
+      | Some plan -> Format.printf "%a@." Indemnity.pp_plan plan
+      | None -> ());
+      print_endline verdict;
+      if simulate && verdict <> "INFEASIBLE" then begin
+        match Trust_sim.Harness.honest_run ~shared:true ?plan spec with
+        | Error message ->
+          prerr_endline ("trustseq: " ^ message);
+          1
+        | Ok result ->
+          print_newline ();
+          Format.printf "%a@." Trust_sim.Audit.pp_report
+            (Trust_sim.Audit.audit spec ?plan result);
+          0
+      end
+      else if verdict = "INFEASIBLE" then 1
+      else 0
+  in
+  let simulate =
+    Arg.(value & flag & info [ "simulate" ] ~doc:"Also run the routed exchange honestly.")
+  in
+  Cmd.v
+    (Cmd.info "route"
+       ~doc:
+         "Synthesize intermediaries from a trust web: a DSL file with trust edges, relay \
+          brokers and requests (section 9).")
+    Term.(const run $ file_arg $ simulate)
+
+(* petri *)
+
+let petri_cmd =
+  let run file =
+    let spec = or_die (load file) in
+    let enc = Petri.Encode.of_spec spec in
+    let verdict, stats = Petri.Encode.feasible enc in
+    Printf.printf "petri verdict: %s (states explored: %d)\n"
+      (match verdict with
+      | `Feasible -> "FEASIBLE"
+      | `Infeasible -> "INFEASIBLE"
+      | `Unknown -> "UNKNOWN (bound hit)")
+      stats.Petri.Analysis.explored;
+    Printf.printf "graph reduction: %s\n"
+      (if Feasibility.is_feasible spec then "FEASIBLE" else "INFEASIBLE");
+    0
+  in
+  Cmd.v
+    (Cmd.info "petri"
+       ~doc:"Cross-check feasibility against the exhaustive Petri-net baseline (section 7.4).")
+    Term.(const run $ file_arg)
+
+let main_cmd =
+  let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
+  Cmd.group
+    (Cmd.info "trustseq" ~version:"1.0.0" ~doc)
+    [ check_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

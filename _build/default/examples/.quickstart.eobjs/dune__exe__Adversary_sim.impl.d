@@ -1,0 +1,1 @@
+examples/adversary_sim.ml: Exchange List Party Printf Report String Trust_core Trust_sim Workload

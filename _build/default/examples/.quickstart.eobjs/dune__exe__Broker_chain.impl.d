@@ -1,0 +1,1 @@
+examples/broker_chain.ml: Exchange Format Interaction List Printf String Trust_core Workload

@@ -1,0 +1,1 @@
+examples/marketplace.ml: Array Int64 List Printf Report Sys Trust_core Trust_sim Workload

@@ -1,0 +1,1 @@
+examples/patent_bundle.mli:

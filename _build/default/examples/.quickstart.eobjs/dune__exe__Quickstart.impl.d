@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asset Exchange Format Party Spec Trust_core Trust_lang Trust_sim

@@ -1,0 +1,1 @@
+examples/trust_web.ml: Asset Exchange Format List Party Printf Report Spec String Trust_core Trust_sim

@@ -1,0 +1,122 @@
+(* The §9 extensions, end to end: a web of trust instead of pre-chosen
+   intermediaries. Alice lives in the "bank" trust domain, the two
+   publishers in the "notary" and "vault" domains; nobody shares an
+   agent with her. Routing synthesizes relay chains through brokers that
+   bridge domains, a shared agent coordinates an all-or-nothing bundle
+   atomically (Rule #3), and a tight per-deal deadline shows partial
+   exchanges expiring safely.
+
+     dune exec examples/trust_web.exe
+*)
+
+open Exchange
+module Routing = Trust_core.Routing
+module Feasibility = Trust_core.Feasibility
+
+let rule () = print_endline (String.make 72 '-')
+
+let alice = Party.consumer "alice"
+let textco = Party.producer "textco"
+let mapco = Party.producer "mapco"
+let carol = Party.broker "carol"
+let dora = Party.broker "dora"
+let erin = Party.broker "erin"
+let bank = Party.trusted "bank"
+let notary = Party.trusted "notary"
+let vault = Party.trusted "vault"
+
+(* Two bank-to-notary bridge brokers (carol, dora) so the router can
+   spread the two resale chains — one broker carrying both would be the
+   poor-broker impasse. *)
+let trusts =
+  Routing.mutual alice bank
+  @ Routing.mutual carol bank @ Routing.mutual carol notary
+  @ Routing.mutual dora bank @ Routing.mutual dora notary
+  @ Routing.mutual textco notary
+  @ Routing.mutual erin notary @ Routing.mutual erin vault
+  @ Routing.mutual mapco vault
+  (* mapco also trusts erin personally: a §4.2.3 direct-trust edge *)
+  @ [ Routing.{ truster = mapco; trustee = erin } ]
+
+let () =
+  print_endline "the trust web:";
+  print_newline ();
+  List.iter
+    (fun e ->
+      Printf.printf "  %s trusts %s\n"
+        (Party.name e.Routing.truster)
+        (Party.name e.Routing.trustee))
+    trusts;
+  rule ();
+  let requests =
+    [
+      Routing.{ id = "text"; buyer = alice; seller = textco; price = Asset.dollars 12; good = "atlas-text" };
+      Routing.{ id = "maps"; buyer = alice; seller = mapco; price = Asset.dollars 18; good = "atlas-maps" };
+    ]
+  in
+  match
+    Routing.connect ~relays:[ carol; dora; erin ] ~markup:(Asset.dollars 1) ~trusts requests
+  with
+  | Error e -> print_endline ("routing failed: " ^ e)
+  | Ok routed ->
+    print_endline "routes found:";
+    print_newline ();
+    List.iter
+      (fun (id, route) -> Format.printf "  %-5s %a@." id Routing.pp_routing route)
+      routed.Routing.routes;
+    rule ();
+    Format.printf "%a@." Spec.pp routed.Routing.spec;
+    rule ();
+    let spec = routed.Routing.spec in
+    Printf.printf "paper rules: %s; extended rules alone: %s\n"
+      (if Feasibility.is_feasible spec then "feasible" else "infeasible")
+      (if Feasibility.is_feasible ~shared:true spec then "feasible" else "infeasible");
+    print_endline
+      "(alice's cross-chain bundle puts the bridge brokers at risk; only an";
+    print_endline " indemnity absorbs that - exactly the paper's para-6 medicine)";
+    print_newline ();
+    let plan =
+      match Feasibility.rescue_with_indemnities ~shared:true spec with
+      | Some rescue -> (
+        Printf.printf "indemnity rescue: total %s\n"
+          (Report.Table.money (Feasibility.total_indemnity rescue));
+        match rescue.Feasibility.plans with [ p ] -> p | _ -> failwith "one plan expected")
+      | None -> failwith "expected a rescue"
+    in
+    Format.printf "%a@." Trust_core.Indemnity.pp_plan plan;
+    (match Trust_sim.Harness.honest_run ~shared:true ~plan spec with
+    | Error e -> print_endline e
+    | Ok result ->
+      Format.printf "@.%a@.@." Trust_sim.Engine.pp_result result;
+      Format.printf "%a@." Trust_sim.Audit.pp_report
+        (Trust_sim.Audit.audit spec ~plan result));
+    rule ();
+    (* the temporal extension: a tight deadline on the inner hop of the
+       maps chain expires before the bundle can complete *)
+    print_endline "same web, but the maps supplier only waits 3 ticks (within 3):";
+    print_newline ();
+    let tight_deals =
+      List.map
+        (fun d ->
+          if String.equal d.Spec.id "maps.hop2" then Spec.with_deadline 3 d else d)
+        spec.Spec.deals
+    in
+    let tight =
+      Spec.make_exn
+        ~personas:(Party.Map.bindings spec.Spec.personas |> List.map (fun (t, p) -> (t, p)))
+        ~priorities:spec.Spec.priorities tight_deals
+    in
+    let tight_plan =
+      match Feasibility.rescue_with_indemnities ~shared:true tight with
+      | Some rescue -> (
+        match rescue.Feasibility.plans with [ p ] -> Some p | _ -> None)
+      | None -> None
+    in
+    (match Trust_sim.Harness.honest_run ~shared:true ?plan:tight_plan tight with
+    | Error e -> print_endline e
+    | Ok result ->
+      let report = Trust_sim.Audit.audit tight ?plan:tight_plan result in
+      Format.printf "%a@.@." Trust_sim.Engine.pp_result result;
+      Printf.printf "preferred outcome reached: %b; any honest loss: %b\n"
+        report.Trust_sim.Audit.all_preferred
+        (not report.Trust_sim.Audit.honest_no_loss))

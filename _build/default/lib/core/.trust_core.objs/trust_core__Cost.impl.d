@@ -1,0 +1,1 @@
+lib/core/cost.ml: Action Exchange Execution Format List Party Spec

@@ -1,0 +1,1 @@
+lib/core/execution.ml: Action Array Asset Exchange Format Hashtbl List Option Outcomes Party Reduce Sequencing Spec State Trust_graph

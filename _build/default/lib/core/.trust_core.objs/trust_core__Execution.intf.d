@@ -1,0 +1,1 @@
+lib/core/execution.mli: Action Exchange Format Party Reduce Spec State

@@ -1,0 +1,1 @@
+lib/core/feasibility.ml: Exchange Execution Format Indemnity List Party Reduce Result Sequencing Spec

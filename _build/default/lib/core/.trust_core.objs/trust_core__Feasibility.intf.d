@@ -1,0 +1,1 @@
+lib/core/feasibility.mli: Asset Exchange Execution Format Indemnity Party Reduce Spec

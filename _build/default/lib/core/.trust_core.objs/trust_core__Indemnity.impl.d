@@ -1,0 +1,1 @@
+lib/core/indemnity.ml: Action Asset Exchange Execution Format Int List Party Reduce Sequencing Spec

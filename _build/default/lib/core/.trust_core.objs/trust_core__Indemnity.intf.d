@@ -1,0 +1,1 @@
+lib/core/indemnity.mli: Action Asset Exchange Execution Format Party Spec

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Action Exchange Execution Format List Party Spec

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Action Exchange Execution Format Party Spec

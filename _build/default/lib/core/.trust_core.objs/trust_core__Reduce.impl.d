@@ -1,0 +1,1 @@
+lib/core/reduce.ml: Array Exchange Format Int List Queue Sequencing

@@ -1,0 +1,1 @@
+lib/core/routing.ml: Array Asset Exchange Format List Party Printf Queue Spec String Trust_graph

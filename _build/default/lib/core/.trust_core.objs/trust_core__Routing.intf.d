@@ -1,0 +1,1 @@
+lib/core/routing.mli: Asset Exchange Format Party Spec

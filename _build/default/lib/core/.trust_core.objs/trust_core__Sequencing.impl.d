@@ -1,0 +1,1 @@
+lib/core/sequencing.ml: Array Buffer Exchange Format Hashtbl List Option Party Printf Spec String Trust_graph

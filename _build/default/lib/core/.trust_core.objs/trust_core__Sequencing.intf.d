@@ -1,0 +1,1 @@
+lib/core/sequencing.mli: Exchange Format Party Spec

@@ -1,0 +1,45 @@
+(** The cost of mistrust (paper §8).
+
+    Two parties that trust each other exchange with two messages; two
+    that do not need four (two to the intermediary, two from it), plus
+    notifications. A single universally trusted intermediary makes every
+    exchange feasible without indemnities, as a distributed transaction
+    it coordinates. This module counts messages in synthesized execution
+    sequences and builds the §8 comparison specs. *)
+
+open Exchange
+
+type tally = {
+  transfers : int;  (** give/pay messages *)
+  notifications : int;
+  compensations : int;  (** give⁻¹/pay⁻¹ messages *)
+  total : int;
+}
+
+val tally_actions : Action.t list -> tally
+val tally_sequence : Execution.sequence -> tally
+
+val with_all_direct_trust : Spec.t -> Spec.t
+(** Every deal's trusted role played by its buying ([Left]) principal:
+    the fully-trusting world of §8 — two messages per deal, and broker
+    red edges become persona-unblocked (§4.2.3 variant 1). *)
+
+val with_universal_intermediary : Spec.t -> Spec.t
+(** Every deal re-routed through one fresh trusted agent ["t*"]. *)
+
+val universal_feasible : Spec.t -> bool
+(** §8: under a universal intermediary the transaction is feasible
+    whenever the deal constraints are mutually satisfiable — the
+    intermediary validates them and runs the whole exchange atomically.
+    For the exchange problems here that is always true; exposed as a
+    function (with its trivial implementation) to make the claim a
+    testable statement rather than prose. *)
+
+val universal_tally : Spec.t -> tally
+(** Message cost of the universal-intermediary distributed transaction:
+    every principal sends each of its deal-side items in (one message
+    each) and receives each expected counterpart out (one message each);
+    no notifications are needed because the intermediary sees the whole
+    transaction. *)
+
+val pp_tally : Format.formatter -> tally -> unit

@@ -1,0 +1,37 @@
+(** One-call analysis: spec → sequencing graph → reduction → execution
+    sequence, plus the indemnity rescue loop for infeasible bundles. *)
+
+open Exchange
+
+type analysis = {
+  spec : Spec.t;
+  outcome : Reduce.outcome;
+  sequence : Execution.sequence option;  (** [Some] iff feasible *)
+}
+
+val analyze : ?shared:bool -> Spec.t -> analysis
+(** [shared] (default false) also enables {!Reduce.Rule3_shared}, the
+    shared-agent extension. *)
+
+val is_feasible : ?shared:bool -> Spec.t -> bool
+
+val blocking_conjunctions : analysis -> Party.t list
+(** Owners of conjunctions with edges remaining in the stuck graph —
+    the candidates for indemnification or direct trust. Empty when
+    feasible. *)
+
+type rescue = {
+  plans : Indemnity.plan list;  (** one per conjunction that was split *)
+  analysis : analysis;  (** of the split spec; feasible on success *)
+}
+
+val rescue_with_indemnities : ?shared:bool -> Spec.t -> rescue option
+(** Repeatedly: analyze; if stuck, greedily indemnify the blocking
+    {e principal} conjunction whose split is cheapest, and retry.
+    [None] when no further principal conjunction can be split and the
+    spec is still infeasible. Feasible specs return a rescue with no
+    plans. *)
+
+val total_indemnity : rescue -> Asset.money
+
+val pp_analysis : Format.formatter -> analysis -> unit

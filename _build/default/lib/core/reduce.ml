@@ -1,0 +1,248 @@
+type rule = Rule1 | Rule1_persona | Rule2 | Rule3_shared
+
+type deletion = {
+  step : int;
+  rule : rule;
+  cid : int;
+  jid : int;
+  colour : Sequencing.colour;
+  commitment_disconnected : bool;
+  conjunction_disconnected : bool;
+}
+
+type verdict = Feasible | Stuck of { remaining : (int * int * Sequencing.colour) list }
+
+type outcome = { verdict : verdict; deletions : deletion list; graph : Sequencing.t }
+
+(* Rule #2 candidates: the single edge of each fringe conjunction. *)
+let rule2_candidates g =
+  let n = Sequencing.conjunction_count g in
+  let rec scan jid acc =
+    if jid < 0 then acc
+    else
+      match Sequencing.edges_of_conjunction g jid with
+      | [ (cid, _) ] -> scan (jid - 1) ((Rule2, cid, jid) :: acc)
+      | _ -> scan (jid - 1) acc
+  in
+  scan (n - 1) []
+
+(* Rule #1 candidates: the single edge of each fringe commitment, when
+   not pre-empted by a sibling red edge — or pre-empted but the
+   principal plays its own trusted-agent role (clause 2). *)
+let rule1_candidates g =
+  let n = Sequencing.commitment_count g in
+  let rec scan cid acc =
+    if cid < 0 then acc
+    else
+      match Sequencing.edges_of_commitment g cid with
+      | [ (jid, _) ] -> (
+        match Sequencing.red_sibling g ~cid ~jid with
+        | None -> scan (cid - 1) ((Rule1, cid, jid) :: acc)
+        | Some _ when Sequencing.plays_own_agent g cid ->
+          scan (cid - 1) ((Rule1_persona, cid, jid) :: acc)
+        | Some _ -> scan (cid - 1) acc)
+      | _ -> scan (cid - 1) acc
+  in
+  scan (n - 1) []
+
+(* Rule #3 (extension, see the interface): the edges of a bundle
+   conjunction that one agent coordinates atomically — see
+   {!Sequencing.coordinated_bundles} for the eligibility conditions. *)
+let rule3_candidates g =
+  let bundles = Sequencing.coordinated_bundles (Sequencing.spec g) in
+  let n = Sequencing.conjunction_count g in
+  let rec scan jid acc =
+    if jid < 0 then acc
+    else begin
+      let j = Sequencing.conjunction g jid in
+      let eligible =
+        List.exists (fun (owner, _) -> Exchange.Party.equal owner j.Sequencing.owner) bundles
+      in
+      let acc =
+        if eligible then
+          List.fold_left
+            (fun acc (cid, _) -> (Rule3_shared, cid, jid) :: acc)
+            acc
+            (Sequencing.edges_of_conjunction g jid)
+        else acc
+      in
+      scan (jid - 1) acc
+    end
+  in
+  scan (n - 1) []
+
+let applicable_with ~shared g =
+  let all =
+    rule2_candidates g @ rule1_candidates g @ (if shared then rule3_candidates g else [])
+  in
+  (* Collapse duplicates on the same edge, keeping the first occurrence
+     (Rule2 has priority in the listing). *)
+  let rec dedup seen = function
+    | [] -> []
+    | ((_, cid, jid) as cand) :: rest ->
+      if List.mem (cid, jid) seen then dedup seen rest
+      else cand :: dedup ((cid, jid) :: seen) rest
+  in
+  dedup [] all
+
+let applicable g = applicable_with ~shared:false g
+
+let apply g ~step (rule, cid, jid) =
+  let colour =
+    match Sequencing.edge_colour g ~cid ~jid with
+    | Some colour -> colour
+    | None -> invalid_arg "Reduce.apply: edge not present"
+  in
+  Sequencing.remove_edge g ~cid ~jid;
+  {
+    step;
+    rule;
+    cid;
+    jid;
+    colour;
+    commitment_disconnected = Sequencing.is_disconnected_commitment g cid;
+    conjunction_disconnected = Sequencing.is_disconnected_conjunction g jid;
+  }
+
+let finish g deletions =
+  let verdict =
+    if Sequencing.fully_reduced g then Feasible
+    else
+      let remaining =
+        List.concat
+          (List.map
+             (fun c ->
+               List.map
+                 (fun (jid, colour) -> (c.Sequencing.cid, jid, colour))
+                 (Sequencing.edges_of_commitment g c.Sequencing.cid))
+             (Array.to_list (Sequencing.commitments g)))
+      in
+      Stuck { remaining }
+  in
+  { verdict; deletions = List.rev deletions; graph = g }
+
+let run_with ?(shared = false) ~pick g =
+  let rec loop step deletions =
+    match applicable_with ~shared g with
+    | [] -> finish g deletions
+    | candidates ->
+      let deletion = apply g ~step (pick candidates) in
+      loop (step + 1) (deletion :: deletions)
+  in
+  loop 1 []
+
+(* Deterministic priority: Rule #2 first (conjunction disconnects —
+   notifications — fire as soon as enabled); then Rule #1 with
+   commitments of *external* principals (parties with no conjunction of
+   their own) before conjunction members, each group in index order.
+   Externals-first means unentangled parties deposit before a bundle
+   owner is asked to commit anything — the order the paper's walkthrough
+   follows, and the one that keeps bundle buyers safe at run time. *)
+let deterministic_pick g =
+  let external_principal cid =
+    let c = Sequencing.commitment g cid in
+    Sequencing.conjunction_of_party g c.Sequencing.principal = None
+  in
+  let pick candidates =
+    let rank (rule, cid, _) =
+      match rule with
+      | Rule2 -> 0
+      | Rule1 | Rule1_persona -> if external_principal cid then 1 else 2
+      | Rule3_shared -> 3
+    in
+    match List.stable_sort (fun a b -> Int.compare (rank a) (rank b)) candidates with
+    | cand :: _ -> cand
+    | [] -> assert false
+  in
+  pick
+
+let run g = run_with ~pick:(deterministic_pick g) g
+
+let run_shared g = run_with ~shared:true ~pick:(deterministic_pick g) g
+
+let run_randomized ~choose g =
+  let pick candidates = List.nth candidates (choose (List.length candidates)) in
+  run_with ~pick g
+
+(* Incremental reduction: a deletion of edge (c, j) can only enable
+   Rule #2 at j, Rule #1 at c (if it keeps another edge) and Rule #1 at
+   j's other commitments (whose pre-empting red edge may just have
+   vanished). Everything else is untouched, so a worklist seeded with
+   all nodes and refilled with exactly those neighbours finds every
+   applicable deletion without rescans. *)
+let run_worklist g =
+  let queue = Queue.create () in
+  let seed () =
+    for cid = 0 to Sequencing.commitment_count g - 1 do
+      Queue.add (`Commitment cid) queue
+    done;
+    for jid = 0 to Sequencing.conjunction_count g - 1 do
+      Queue.add (`Conjunction jid) queue
+    done
+  in
+  seed ();
+  let deletions = ref [] and step = ref 0 in
+  let delete rule cid jid =
+    incr step;
+    let neighbours = List.map fst (Sequencing.edges_of_conjunction g jid) in
+    deletions := apply g ~step:!step (rule, cid, jid) :: !deletions;
+    Queue.add (`Commitment cid) queue;
+    Queue.add (`Conjunction jid) queue;
+    List.iter (fun b -> if b <> cid then Queue.add (`Commitment b) queue) neighbours
+  in
+  let check_commitment cid =
+    match Sequencing.edges_of_commitment g cid with
+    | [ (jid, _) ] -> (
+      match Sequencing.red_sibling g ~cid ~jid with
+      | None -> delete Rule1 cid jid
+      | Some _ when Sequencing.plays_own_agent g cid -> delete Rule1_persona cid jid
+      | Some _ -> ())
+    | _ -> ()
+  in
+  let check_conjunction jid =
+    match Sequencing.edges_of_conjunction g jid with
+    | [ (cid, _) ] -> delete Rule2 cid jid
+    | _ -> ()
+  in
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some (`Commitment cid) ->
+      check_commitment cid;
+      drain ()
+    | Some (`Conjunction jid) ->
+      check_conjunction jid;
+      drain ()
+  in
+  drain ();
+  finish g !deletions
+
+let feasible outcome = outcome.verdict = Feasible
+
+let pp_rule ppf rule =
+  Format.pp_print_string ppf
+    (match rule with
+    | Rule1 -> "Rule#1"
+    | Rule1_persona -> "Rule#1(persona)"
+    | Rule2 -> "Rule#2"
+    | Rule3_shared -> "Rule#3(shared-agent)")
+
+let pp_deletion g ppf d =
+  let c = Sequencing.commitment g d.cid in
+  let j = Sequencing.conjunction g d.jid in
+  Format.fprintf ppf "%2d. %a removes %a edge (%s|%s, AND %s)%s%s" d.step pp_rule d.rule
+    Sequencing.pp_colour d.colour
+    (Exchange.Party.name c.Sequencing.agent)
+    (Exchange.Party.name c.Sequencing.principal)
+    (Exchange.Party.name j.Sequencing.owner)
+    (if d.commitment_disconnected then " [commitment disconnected]" else "")
+    (if d.conjunction_disconnected then " [conjunction disconnected]" else "")
+
+let pp_outcome ppf outcome =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun d -> Format.fprintf ppf "%a@," (pp_deletion outcome.graph) d) outcome.deletions;
+  (match outcome.verdict with
+  | Feasible -> Format.fprintf ppf "verdict: FEASIBLE"
+  | Stuck { remaining } ->
+    Format.fprintf ppf "verdict: STUCK with %d edges remaining" (List.length remaining));
+  Format.fprintf ppf "@]"

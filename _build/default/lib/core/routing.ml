@@ -1,0 +1,188 @@
+open Exchange
+
+type trust = { truster : Party.t; trustee : Party.t }
+
+type request = {
+  id : string;
+  buyer : Party.t;
+  seller : Party.t;
+  price : Asset.money;
+  good : string;
+}
+
+type routing =
+  | Common_agent of Party.t
+  | Buyer_persona
+  | Seller_persona
+  | Relay of Party.t list
+
+type t = { spec : Spec.t; routes : (string * routing) list }
+
+let mutual a b = [ { truster = a; trustee = b }; { truster = b; trustee = a } ]
+
+let trusts_party trusts a b =
+  List.exists (fun e -> Party.equal e.truster a && Party.equal e.trustee b) trusts
+
+let common_agents trusts a b =
+  List.filter_map
+    (fun e ->
+      if
+        Party.is_trusted e.trustee && Party.equal e.truster a
+        && trusts_party trusts b e.trustee
+      then Some e.trustee
+      else None)
+    trusts
+  |> List.sort_uniq Party.compare
+
+(* How two principals can deal directly, if at all. Preference order:
+   a neutral shared agent, then the seller-trusts-buyer persona (the
+   direction that keeps resale chains feasible, §4.2.3 variant 1), then
+   the reverse persona. *)
+type link = Agent of Party.t | Trusts_buyer | Trusts_seller
+
+let link_between trusts ~buyer ~seller =
+  match common_agents trusts buyer seller with
+  | agent :: _ -> Some (Agent agent)
+  | [] ->
+    if trusts_party trusts seller buyer then Some Trusts_buyer
+    else if trusts_party trusts buyer seller then Some Trusts_seller
+    else None
+
+(* Breadth-first search for the shortest relay path from buyer to
+   seller, hopping only across deal-capable pairs. [avoid] removes
+   relays already reselling for another request: a broker with two
+   resales carries two mutually pre-empting red edges — the poor-broker
+   impasse (§5) — so batches must spread across distinct relays. *)
+let relay_path trusts ~relays ~buyer ~seller =
+  let nodes = Array.of_list (buyer :: seller :: relays) in
+  let g = Trust_graph.Digraph.create ~initial_capacity:(Array.length nodes) () in
+  let ids = Trust_graph.Digraph.add_nodes g (Array.length nodes) in
+  ignore ids;
+  Array.iteri
+    (fun i p ->
+      Array.iteri
+        (fun j q ->
+          if i <> j && link_between trusts ~buyer:p ~seller:q <> None then
+            Trust_graph.Digraph.add_edge g i j)
+        nodes)
+    nodes;
+  (* BFS from node 0 (buyer) to node 1 (seller) *)
+  let prev = Array.make (Array.length nodes) (-1) in
+  let visited = Array.make (Array.length nodes) false in
+  let queue = Queue.create () in
+  visited.(0) <- true;
+  Queue.add 0 queue;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if not visited.(v) then begin
+          visited.(v) <- true;
+          prev.(v) <- u;
+          if v = 1 then found := true else Queue.add v queue
+        end)
+      (Trust_graph.Digraph.succ g u)
+  done;
+  if not !found then None
+  else begin
+    let rec walk v acc = if v = 0 then acc else walk prev.(v) (nodes.(v) :: acc) in
+    Some (buyer :: walk 1 [])
+  end
+
+let route_request trusts ~relays ~avoid ~markup request =
+  let relays =
+    let usable = List.filter (fun r -> not (List.exists (Party.equal r) avoid)) relays in
+    (* fall back to the full pool when avoidance disconnects the web *)
+    if relay_path trusts ~relays:usable ~buyer:request.buyer ~seller:request.seller = None
+    then relays
+    else usable
+  in
+  let direct_deal ~id ~buyer ~seller ~price link =
+    match link with
+    | Agent agent ->
+      (Spec.sale ~id ~buyer ~seller ~via:agent ~price ~good:request.good, [])
+    | Trusts_buyer ->
+      let role = Party.trusted (id ^ ".role") in
+      (Spec.sale ~id ~buyer ~seller ~via:role ~price ~good:request.good, [ (role, buyer) ])
+    | Trusts_seller ->
+      let role = Party.trusted (id ^ ".role") in
+      (Spec.sale ~id ~buyer ~seller ~via:role ~price ~good:request.good, [ (role, seller) ])
+  in
+  match link_between trusts ~buyer:request.buyer ~seller:request.seller with
+  | Some link ->
+    let deal, personas =
+      direct_deal ~id:request.id ~buyer:request.buyer ~seller:request.seller
+        ~price:request.price link
+    in
+    let routing =
+      match link with
+      | Agent agent -> Common_agent agent
+      | Trusts_buyer -> Buyer_persona
+      | Trusts_seller -> Seller_persona
+    in
+    Ok ([ deal ], personas, [], routing)
+  | None -> (
+    match relay_path trusts ~relays ~buyer:request.buyer ~seller:request.seller with
+    | None ->
+      Error
+        (Printf.sprintf "request %s: no trust path from %s to %s" request.id
+           (Party.name request.buyer) (Party.name request.seller))
+    | Some path ->
+      (* path = buyer, r1, ..., rk, seller; deal i joins path[i-1]
+         (buyer side) with path[i] (seller side); the innermost deal
+         carries the base price, each extra hop adds the markup. *)
+      let hops = List.length path - 1 in
+      let deals = ref [] and personas = ref [] and priorities = ref [] in
+      List.iteri
+        (fun i buyer_side ->
+          if i < hops then begin
+            let seller_side = List.nth path (i + 1) in
+            let id = Printf.sprintf "%s.hop%d" request.id (i + 1) in
+            let price = request.price + ((hops - 1 - i) * markup) in
+            match link_between trusts ~buyer:buyer_side ~seller:seller_side with
+            | None -> assert false (* BFS only walks deal-capable pairs *)
+            | Some link ->
+              let deal, extra = direct_deal ~id ~buyer:buyer_side ~seller:seller_side ~price link in
+              deals := !deals @ [ deal ];
+              personas := !personas @ extra;
+              (* every relay secures its buyer before buying onward *)
+              if i > 0 then
+                priorities :=
+                  !priorities
+                  @ [
+                      ( buyer_side,
+                        { Spec.deal = Printf.sprintf "%s.hop%d" request.id i; side = Spec.Right }
+                      );
+                    ]
+          end)
+        path;
+      let relays_used = List.filteri (fun i _ -> i > 0 && i < hops) path in
+      Ok (!deals, !personas, !priorities, Relay (List.rev relays_used)))
+
+let connect ?(relays = []) ?(markup = 100) ~trusts requests =
+  let rec loop deals personas priorities routes used = function
+    | [] -> (
+      match Spec.make ~personas ~priorities deals with
+      | Ok spec -> Ok { spec; routes = List.rev routes }
+      | Error es -> Error (String.concat "; " es))
+    | request :: rest -> (
+      match route_request trusts ~relays ~avoid:used ~markup request with
+      | Error e -> Error e
+      | Ok (ds, ps, prios, routing) ->
+        let used =
+          match routing with Relay chain -> chain @ used | _ -> used
+        in
+        loop (deals @ ds) (personas @ ps) (priorities @ prios)
+          ((request.id, routing) :: routes)
+          used rest)
+  in
+  loop [] [] [] [] [] requests
+
+let pp_routing ppf = function
+  | Common_agent agent -> Format.fprintf ppf "via shared agent %s" (Party.name agent)
+  | Buyer_persona -> Format.pp_print_string ppf "seller trusts buyer (buyer persona)"
+  | Seller_persona -> Format.pp_print_string ppf "buyer trusts seller (seller persona)"
+  | Relay relays ->
+    Format.fprintf ppf "relayed through %s"
+      (String.concat " -> " (List.map Party.name relays))

@@ -1,0 +1,66 @@
+(** Trust routing — the §9 "hierarchy of trust" extension.
+
+    The paper assumes each pairwise exchange comes with its trusted
+    intermediary already chosen and asks only whether the whole
+    transaction can be sequenced. §9 points out that real networks have
+    a {e web} of trust: parties trust some agents and some other
+    parties, and more transactions complete if trust can be chained.
+
+    This module synthesizes the missing middle: given a trust relation
+    and a set of desired sales, it picks for each sale a shared trusted
+    agent, a direct-trust persona, or — when buyer and seller share
+    nothing — a {e relay chain} of intermediary principals, each hop of
+    which is again escrow-protected and red-edge-ordered like the
+    paper's brokers. The result is an ordinary {!Exchange.Spec.t} that
+    the sequencing machinery analyzes as usual. *)
+
+open Exchange
+
+type trust = { truster : Party.t; trustee : Party.t }
+(** [truster] is willing to let [trustee] hold its side of an exchange:
+    a trusted component both use, or another principal (§4.2.3). *)
+
+type request = {
+  id : string;
+  buyer : Party.t;
+  seller : Party.t;
+  price : Asset.money;
+  good : string;
+}
+
+(** How one requested sale was realised. *)
+type routing =
+  | Common_agent of Party.t  (** both sides trust this agent *)
+  | Buyer_persona  (** the seller trusts the buyer (§4.2.3 variant 1) *)
+  | Seller_persona  (** the buyer trusts the seller *)
+  | Relay of Party.t list
+      (** resale chain through these principals, in goods-flow order
+          from the seller's side to the buyer's *)
+
+type t = {
+  spec : Spec.t;
+  routes : (string * routing) list;  (** per request id *)
+}
+
+val mutual : Party.t -> Party.t -> trust list
+(** Both directions at once. *)
+
+val connect :
+  ?relays:Party.t list ->
+  ?markup:Asset.money ->
+  trusts:trust list ->
+  request list ->
+  (t, string) result
+(** Route every request. [relays] are principals (typically brokers)
+    willing to resell for [markup] extra cents per hop (default 100 =
+    $1); a relay chain is the shortest path of deal-capable hops found
+    by breadth-first search over the trust web. Two parties are
+    deal-capable when they share a trusted agent or one trusts the
+    other. Relays already reselling for an earlier request in the batch
+    are avoided when an alternative exists (a broker with two resales in
+    one transaction carries two mutually pre-empting red edges — the
+    §5 poor-broker impasse). Fails with the first unroutable request.
+    Request ids must be unique; generated chain deals are named
+    [<id>.hop<k>]. *)
+
+val pp_routing : Format.formatter -> routing -> unit

@@ -1,0 +1,1 @@
+lib/exchange/action.ml: Asset Format Party

@@ -1,0 +1,1 @@
+lib/exchange/action.mli: Asset Format Party

@@ -1,0 +1,1 @@
+lib/exchange/asset.ml: Format Int List Map Option Set Stdlib String

@@ -1,0 +1,1 @@
+lib/exchange/asset.mli: Format Map Set

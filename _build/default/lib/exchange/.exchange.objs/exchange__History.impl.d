@@ -1,0 +1,1 @@
+lib/exchange/history.ml: Action Asset Format Int List Outcomes Party State

@@ -1,0 +1,1 @@
+lib/exchange/history.mli: Action Format Party Spec State

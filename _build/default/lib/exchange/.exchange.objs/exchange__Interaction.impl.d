@@ -1,0 +1,1 @@
+lib/exchange/interaction.ml: Array Format List Party Spec Trust_graph

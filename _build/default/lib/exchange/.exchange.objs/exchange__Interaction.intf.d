@@ -1,0 +1,1 @@
+lib/exchange/interaction.mli: Format Party Spec Trust_graph

@@ -1,0 +1,1 @@
+lib/exchange/outcomes.ml: Action Asset Format List Party Printf Spec State

@@ -1,0 +1,1 @@
+lib/exchange/outcomes.mli: Format Party Spec State

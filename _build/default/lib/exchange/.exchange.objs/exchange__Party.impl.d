@@ -1,0 +1,1 @@
+lib/exchange/party.ml: Format Map Set Stdlib String

@@ -1,0 +1,1 @@
+lib/exchange/party.mli: Format Map Set

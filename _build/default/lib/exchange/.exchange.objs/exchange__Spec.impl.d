@@ -1,0 +1,1 @@
+lib/exchange/spec.ml: Asset Format Hashtbl List Option Party State String

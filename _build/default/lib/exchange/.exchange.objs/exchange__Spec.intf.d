@@ -1,0 +1,1 @@
+lib/exchange/spec.mli: Asset Format Party State

@@ -1,0 +1,1 @@
+lib/exchange/state.ml: Action Asset Format List Party Set

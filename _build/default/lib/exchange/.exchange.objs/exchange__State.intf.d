@@ -1,0 +1,1 @@
+lib/exchange/state.mli: Action Asset Format Party

@@ -1,0 +1,156 @@
+(** Exchange-problem specifications (paper §2, §4).
+
+    The subclass of action/state problems the sequencing-graph machinery
+    handles: a set of pairwise exchanges, each between two distrusting
+    principals mediated by a trusted intermediary. Every internal party
+    (one with two or more interaction edges) induces a conjunction —
+    all its commitments happen or none do. A commitment may be marked
+    {e prioritised} (a red edge: it must be committed before its
+    siblings, §4.1), a trusted role may be a {e persona} played by one of
+    the deal's own principals (direct trust, §4.2.3), and a conjunction
+    edge may be {e split} by an indemnity (§6). *)
+
+type side = Left | Right
+
+type deal = {
+  id : string;  (** unique within the spec *)
+  left : Party.t;  (** a principal *)
+  right : Party.t;  (** a principal *)
+  via : Party.t;  (** the trusted intermediary role *)
+  left_sends : Asset.t;  (** what [left] hands to [via] *)
+  right_sends : Asset.t;  (** what [right] hands to [via] *)
+  deadline : int option;
+      (** §2.2: how long (in runtime ticks) the intermediary may hold a
+          side of this deal before returning it; [None] means the
+          run-level escrow deadline ("sufficiently generous") applies *)
+}
+
+type commitment_ref = { deal : string; side : side }
+(** One interaction-graph edge: the [side] principal's commitment to the
+    deal's trusted intermediary. *)
+
+type t = private {
+  deals : deal list;
+  personas : Party.t Party.Map.t;
+      (** trusted role -> principal playing it (direct trust) *)
+  priorities : (Party.t * commitment_ref) list;
+      (** (conjunction owner, commitment): red edge — that commitment
+          must be committed before the owner's other commitments *)
+  splits : (Party.t * commitment_ref) list;
+      (** conjunction edges removed by an indemnity *)
+  overrides : State.acceptability Party.Map.t;
+      (** acceptability overrides; parties absent here use the
+          generated defaults of {!Outcomes} *)
+}
+
+(** {1 Construction} *)
+
+val deal :
+  id:string -> left:Party.t -> right:Party.t -> via:Party.t ->
+  left_sends:Asset.t -> right_sends:Asset.t -> deal
+(** A deal without a deadline of its own; see {!with_deadline}. *)
+
+val sale :
+  id:string -> buyer:Party.t -> seller:Party.t -> via:Party.t ->
+  price:Asset.money -> good:string -> deal
+(** [sale] is the ubiquitous special case: buyer pays [price], seller
+    gives [good]. The buyer is the [Left] side. *)
+
+val with_deadline : int -> deal -> deal
+(** Set the deal's escrow deadline (§2.2), in runtime ticks. *)
+
+val make :
+  ?personas:(Party.t * Party.t) list ->
+  ?priorities:(Party.t * commitment_ref) list ->
+  ?splits:(Party.t * commitment_ref) list ->
+  ?overrides:(Party.t * State.acceptability) list ->
+  deal list ->
+  (t, string list) result
+(** Build and {{!validate}validate} a spec. [personas] pairs are
+    [(trusted_role, principal)]. *)
+
+val make_exn :
+  ?personas:(Party.t * Party.t) list ->
+  ?priorities:(Party.t * commitment_ref) list ->
+  ?splits:(Party.t * commitment_ref) list ->
+  ?overrides:(Party.t * State.acceptability) list ->
+  deal list ->
+  t
+(** @raise Invalid_argument with the validation errors. *)
+
+val with_split : Party.t -> commitment_ref -> t -> t
+(** Record an indemnity split. Idempotent.
+    @raise Invalid_argument if owner/commitment are not in the spec. *)
+
+val with_persona : trusted:Party.t -> principal:Party.t -> t -> t
+(** Declare direct trust: [principal] plays the [trusted] role.
+    @raise Invalid_argument on validation failure. *)
+
+val with_priority : Party.t -> commitment_ref -> t -> t
+val with_override : Party.t -> State.acceptability -> t -> t
+
+(** {1 Accessors} *)
+
+val find_deal : t -> string -> deal option
+val commitment_principal : deal -> side -> Party.t
+val commitment_sends : deal -> side -> Asset.t
+val commitment_expects : deal -> side -> Asset.t
+(** What the side principal receives when the deal completes. *)
+
+val other_side : side -> side
+
+val commitments : t -> (commitment_ref * deal) list
+(** Every interaction edge, [Left] then [Right] per deal, deal order. *)
+
+val commitments_of : t -> Party.t -> commitment_ref list
+(** Interaction edges incident to a party (as principal or as the
+    trusted role — personas do {e not} merge here; the interaction graph
+    keeps the abstract role separate, §3). *)
+
+val principals : t -> Party.t list
+(** Distinct principals, first-appearance order. *)
+
+val trusted_agents : t -> Party.t list
+val parties : t -> Party.t list
+
+val internal_parties : t -> Party.t list
+(** Parties with two or more interaction edges: the conjunction owners. *)
+
+val persona_of : t -> Party.t -> Party.t option
+(** The principal playing a trusted role, if any. *)
+
+val effective_agent : t -> deal -> Party.t
+(** The party that actually performs the trusted role of a deal: the
+    persona when declared, the abstract trusted party otherwise. *)
+
+val plays_own_agent : t -> commitment_ref -> bool
+(** Rule #1 clause 2 (§4.2.4): the commitment's principal itself plays
+    the deal's trusted-agent role. *)
+
+val is_priority : t -> Party.t -> commitment_ref -> bool
+val is_split : t -> Party.t -> commitment_ref -> bool
+
+val linked_commitments_of : t -> Party.t -> commitment_ref list
+(** [commitments_of] minus split edges: the edges actually present in
+    the sequencing graph for this party's conjunction. *)
+
+val cost_to : t -> Party.t -> commitment_ref -> Asset.money
+(** Money the party sends in that commitment's deal ([0] when its side
+    sends a document). This is the "cost of a piece" of §6. *)
+
+val indemnity_amount : t -> Party.t -> commitment_ref -> Asset.money
+(** §6: the indemnity that covers splitting [commitment] off [owner]'s
+    conjunction — the total cost to [owner] of all {e other} pieces of
+    that conjunction (computed over the original, unsplit set, so the
+    value does not depend on the order indemnities are offered in;
+    Fig. 7's $50/$40/$30 for the $10/$20/$30 documents). *)
+
+val acceptability_overrides : t -> Party.t -> State.acceptability option
+
+val validate : t -> (unit, string list) result
+
+val equal_ref : commitment_ref -> commitment_ref -> bool
+val pp_side : Format.formatter -> side -> unit
+val pp_ref : Format.formatter -> commitment_ref -> unit
+val pp_deal : Format.formatter -> deal -> unit
+val pp : Format.formatter -> t -> unit

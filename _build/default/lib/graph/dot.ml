@@ -1,0 +1,52 @@
+type attrs = (string * string) list
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_attrs buf attrs =
+  match attrs with
+  | [] -> ()
+  | attrs ->
+    Buffer.add_string buf " [";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf k;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape v);
+        Buffer.add_char buf '"')
+      attrs;
+    Buffer.add_char buf ']'
+
+let render ?(name = "g") ?(graph_attrs = []) ?(node_attrs = fun _ -> [])
+    ?(edge_attrs = fun _ _ -> []) ?(undirected = false) g =
+  let buf = Buffer.create 1024 in
+  let kind = if undirected then "graph" else "digraph" in
+  let arrow = if undirected then " -- " else " -> " in
+  Buffer.add_string buf (Printf.sprintf "%s \"%s\" {\n" kind (escape name));
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %s=\"%s\";\n" k (escape v)))
+    graph_attrs;
+  Digraph.iter_nodes
+    (fun v ->
+      Buffer.add_string buf (Printf.sprintf "  n%d" v);
+      render_attrs buf (node_attrs v);
+      Buffer.add_string buf ";\n")
+    g;
+  Digraph.iter_edges
+    (fun u v ->
+      Buffer.add_string buf (Printf.sprintf "  n%d%sn%d" u arrow v);
+      render_attrs buf (edge_attrs u v);
+      Buffer.add_string buf ";\n")
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Graphviz DOT rendering of {!Digraph.t} values, with caller-supplied
+    node and edge attributes. The sequencing-graph renderer in [report]
+    builds on this to reproduce the paper's figures. *)
+
+type attrs = (string * string) list
+(** DOT attribute assignments, e.g. [("shape", "hexagon")]. Values are
+    quoted and escaped by the renderer. *)
+
+val render :
+  ?name:string ->
+  ?graph_attrs:attrs ->
+  ?node_attrs:(int -> attrs) ->
+  ?edge_attrs:(int -> int -> attrs) ->
+  ?undirected:bool ->
+  Digraph.t ->
+  string
+(** [render g] is the DOT source for [g]. [undirected] (default [false])
+    emits [graph]/[--] instead of [digraph]/[->]. *)
+
+val escape : string -> string
+(** Escape a string for use inside a double-quoted DOT literal. *)

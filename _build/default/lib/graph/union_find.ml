@@ -1,0 +1,40 @@
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t x =
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx <> ry then
+    if t.rank.(rx) < t.rank.(ry) then t.parent.(rx) <- ry
+    else if t.rank.(rx) > t.rank.(ry) then t.parent.(ry) <- rx
+    else begin
+      t.parent.(ry) <- rx;
+      t.rank.(rx) <- t.rank.(rx) + 1
+    end
+
+let equivalent t x y = find t x = find t y
+
+let count_sets t =
+  let n = Array.length t.parent in
+  let count = ref 0 in
+  for i = 0 to n - 1 do
+    if find t i = i then incr count
+  done;
+  !count
+
+let set_of t x =
+  let root = find t x in
+  let n = Array.length t.parent in
+  let rec collect i acc =
+    if i < 0 then acc else collect (i - 1) (if find t i = root then i :: acc else acc)
+  in
+  collect (n - 1) []

@@ -1,0 +1,20 @@
+(** Union-find (disjoint sets) over dense integer elements, with path
+    compression and union by rank. Used to track which commitment nodes
+    merge when a principal plays the trusted-agent role, and by the
+    workload generators to keep random topologies connected. *)
+
+type t
+
+val create : int -> t
+(** [create n] is [n] singleton sets [{0}, ..., {n-1}]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> unit
+(** Merge the two sets. No-op when already equal. *)
+
+val equivalent : t -> int -> int -> bool
+val count_sets : t -> int
+val set_of : t -> int -> int list
+(** All elements sharing the given element's representative, ascending. *)

@@ -1,0 +1,1 @@
+lib/lang/elaborate.ml: Asset Ast Exchange Format In_channel List Loc Parser Party Spec String

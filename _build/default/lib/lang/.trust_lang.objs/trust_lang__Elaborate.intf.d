@@ -1,0 +1,1 @@
+lib/lang/elaborate.mli: Asset Ast Exchange Format Loc Party Spec

@@ -1,0 +1,1 @@
+lib/lang/printer.ml: Asset Buffer Elaborate Exchange Format Hashtbl List Party Printf Spec Token

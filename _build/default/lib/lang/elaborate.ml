@@ -1,0 +1,213 @@
+open Exchange
+
+type error = { message : string; loc : Loc.t }
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Loc.pp e.loc e.message
+
+type env = {
+  mutable parties : (string * Party.t) list;  (* declaration order, reversed *)
+  mutable errors : error list;
+}
+
+let err env loc fmt =
+  Format.kasprintf (fun message -> env.errors <- { message; loc } :: env.errors) fmt
+
+let declare env (name : string Loc.located) party =
+  if List.mem_assoc name.Loc.value env.parties then
+    err env name.Loc.loc "party %s declared twice" name.Loc.value
+  else env.parties <- env.parties @ [ (name.Loc.value, party) ]
+
+let lookup env (name : string Loc.located) =
+  match List.assoc_opt name.Loc.value env.parties with
+  | Some party -> Some party
+  | None ->
+    err env name.Loc.loc "undeclared party %s" name.Loc.value;
+    None
+
+let lookup_principal env name =
+  match lookup env name with
+  | Some party when Party.is_principal party -> Some party
+  | Some party ->
+    err env name.Loc.loc "%s is a trusted agent, expected a principal" (Party.name party);
+    None
+  | None -> None
+
+let lookup_trusted env name =
+  match lookup env name with
+  | Some party when Party.is_trusted party -> Some party
+  | Some party ->
+    err env name.Loc.loc "%s is a principal, expected a trusted agent" (Party.name party);
+    None
+  | None -> None
+
+let role_of = function
+  | Ast.Consumer -> Party.consumer
+  | Ast.Producer -> Party.producer
+  | Ast.Broker -> Party.broker
+
+let asset_of = function
+  | Ast.Pays cents -> Asset.money cents
+  | Ast.Gives doc -> Asset.document doc
+
+let side_of = function Ast.Buyer -> Spec.Left | Ast.Seller -> Spec.Right
+
+let cref_of env deals (c : Ast.cref) =
+  if not (List.exists (fun (d : Spec.deal) -> String.equal d.Spec.id c.Ast.deal.Loc.value) deals)
+  then err env c.Ast.deal.Loc.loc "unknown deal %s" c.Ast.deal.Loc.value;
+  { Spec.deal = c.Ast.deal.Loc.value; side = side_of c.Ast.side }
+
+let program decls =
+  let env = { parties = []; errors = [] } in
+  (* Pass 1: declarations. *)
+  List.iter
+    (function
+      | Ast.Principal { name; role } -> declare env name (role_of role name.Loc.value)
+      | Ast.Trusted name -> declare env name (Party.trusted name.Loc.value)
+      | Ast.Deal _ | Ast.Priority _ | Ast.Split _ | Ast.Trust _ | Ast.Persona _ -> ()
+      | Ast.Relay name | Ast.Request { id = name; _ } ->
+        err env name.Loc.loc "web declarations need a web program (requests present)")
+    decls;
+  (* Pass 2: deals. *)
+  let deals =
+    List.filter_map
+      (function
+        | Ast.Deal { id; first; second; via; deadline } -> (
+          let left = lookup_principal env first.Ast.party in
+          let right = lookup_principal env second.Ast.party in
+          let via_party = lookup_trusted env via in
+          match (left, right, via_party) with
+          | Some left, Some right, Some via ->
+            let d =
+              Spec.deal ~id:id.Loc.value ~left ~right ~via
+                ~left_sends:(asset_of first.Ast.asset)
+                ~right_sends:(asset_of second.Ast.asset)
+            in
+            Some
+              (match deadline with Some n -> Spec.with_deadline n d | None -> d)
+          | _ -> None)
+        | _ -> None)
+      decls
+  in
+  (* Pass 3: marks and personas. *)
+  let priorities = ref [] and splits = ref [] and personas = ref [] in
+  List.iter
+    (function
+      | Ast.Priority { owner; target } -> (
+        match lookup env owner with
+        | Some party -> priorities := !priorities @ [ (party, cref_of env deals target) ]
+        | None -> ())
+      | Ast.Split { owner; target } -> (
+        match lookup env owner with
+        | Some party -> splits := !splits @ [ (party, cref_of env deals target) ]
+        | None -> ())
+      | Ast.Persona { trusted; principal } -> (
+        match (lookup_trusted env trusted, lookup_principal env principal) with
+        | Some t, Some p -> personas := !personas @ [ (t, p) ]
+        | _ -> ())
+      | Ast.Trust { truster; trustee } -> (
+        match (lookup_principal env truster, lookup_principal env trustee) with
+        | Some a, Some b ->
+          let joining =
+            List.filter
+              (fun (d : Spec.deal) ->
+                (Party.equal d.Spec.left a && Party.equal d.Spec.right b)
+                || (Party.equal d.Spec.left b && Party.equal d.Spec.right a))
+              deals
+          in
+          if joining = [] then
+            err env truster.Loc.loc "trust %s -> %s joins no deal" truster.Loc.value
+              trustee.Loc.value
+          else
+            List.iter (fun (d : Spec.deal) -> personas := !personas @ [ (d.Spec.via, b) ]) joining
+        | _ -> ())
+      | Ast.Principal _ | Ast.Trusted _ | Ast.Deal _ | Ast.Relay _ | Ast.Request _ -> ())
+    decls;
+  match List.rev env.errors with
+  | _ :: _ as errors -> Error errors
+  | [] -> (
+    match Spec.make ~personas:!personas ~priorities:!priorities ~splits:!splits deals with
+    | Ok spec -> Ok spec
+    | Error messages ->
+      Error (List.map (fun message -> { message; loc = Loc.start }) messages))
+
+type web = {
+  trusts : (Party.t * Party.t) list;
+  relays : Party.t list;
+  requests : (string * Party.t * string * Party.t * Asset.money) list;
+}
+
+let is_web decls = List.exists (function Ast.Request _ -> true | _ -> false) decls
+
+let web decls =
+  let env = { parties = []; errors = [] } in
+  List.iter
+    (function
+      | Ast.Principal { name; role } -> declare env name (role_of role name.Loc.value)
+      | Ast.Trusted name -> declare env name (Party.trusted name.Loc.value)
+      | Ast.Deal { id; _ } ->
+        err env id.Loc.loc "web programs route requests; explicit deals are not allowed"
+      | Ast.Priority { owner; _ } | Ast.Split { owner; _ } ->
+        err env owner.Loc.loc "priorities and splits come from routing in a web program"
+      | Ast.Persona { trusted; _ } ->
+        err env trusted.Loc.loc "personas come from trust edges in a web program"
+      | Ast.Trust _ | Ast.Relay _ | Ast.Request _ -> ())
+    decls;
+  let trusts = ref [] and relays = ref [] and requests = ref [] in
+  let seen_requests = ref [] in
+  List.iter
+    (function
+      | Ast.Trust { truster; trustee } -> (
+        match (lookup env truster, lookup env trustee) with
+        | Some a, Some b ->
+          if Party.is_trusted a then
+            err env truster.Loc.loc "a trusted agent cannot be a truster"
+          else trusts := !trusts @ [ (a, b) ]
+        | _ -> ())
+      | Ast.Relay name -> (
+        match lookup_principal env name with
+        | Some p -> relays := !relays @ [ p ]
+        | None -> ())
+      | Ast.Request { id; buyer; good; seller; price } -> (
+        if List.mem id.Loc.value !seen_requests then
+          err env id.Loc.loc "request %s declared twice" id.Loc.value
+        else seen_requests := id.Loc.value :: !seen_requests;
+        match (lookup_principal env buyer, lookup_principal env seller) with
+        | Some b, Some s -> requests := !requests @ [ (id.Loc.value, b, good, s, price) ]
+        | _ -> ())
+      | Ast.Principal _ | Ast.Trusted _ | Ast.Deal _ | Ast.Priority _ | Ast.Split _
+      | Ast.Persona _ -> ())
+    decls;
+  (if !requests = [] then
+     err env Loc.start "a web program needs at least one request");
+  match List.rev env.errors with
+  | _ :: _ as errors -> Error errors
+  | [] -> Ok { trusts = !trusts; relays = !relays; requests = !requests }
+
+let render_errors errors =
+  String.concat "\n" (List.map (fun e -> Format.asprintf "%a" pp_error e) errors)
+
+let from_string src =
+  match Parser.parse src with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok ast -> (
+    match program ast with
+    | Ok spec -> Ok spec
+    | Error errors -> Error (render_errors errors))
+
+let from_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> from_string src
+  | exception Sys_error message -> Error message
+
+let web_from_string src =
+  match Parser.parse src with
+  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Ok ast -> (
+    match web ast with
+    | Ok w -> Ok w
+    | Error errors -> Error (render_errors errors))
+
+let web_from_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> web_from_string src
+  | exception Sys_error message -> Error message

@@ -1,0 +1,13 @@
+type t = { line : int; col : int }
+
+let start = { line = 1; col = 1 }
+
+let advance pos = function
+  | '\n' -> { line = pos.line + 1; col = 1 }
+  | _ -> { pos with col = pos.col + 1 }
+
+let pp ppf pos = Format.fprintf ppf "line %d, column %d" pos.line pos.col
+
+type 'a located = { value : 'a; loc : t }
+
+let at loc value = { value; loc }

@@ -1,0 +1,13 @@
+(** Source locations for DSL error reporting. *)
+
+type t = { line : int; col : int }
+
+val start : t
+val advance : t -> char -> t
+(** Next position after reading the character (newline resets column). *)
+
+val pp : Format.formatter -> t -> unit
+
+type 'a located = { value : 'a; loc : t }
+
+val at : t -> 'a -> 'a located

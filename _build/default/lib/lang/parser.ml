@@ -1,0 +1,185 @@
+type error = { message : string; loc : Loc.t }
+
+let pp_error ppf e = Format.fprintf ppf "%a: %s" Loc.pp e.loc e.message
+
+exception Parse_error of error
+
+let fail loc fmt = Format.kasprintf (fun message -> raise (Parse_error { message; loc })) fmt
+
+type stream = { mutable tokens : Token.t Loc.located list }
+
+let peek s =
+  match s.tokens with
+  | tok :: _ -> tok
+  | [] -> assert false (* the lexer always terminates the stream with Eof *)
+
+let advance s = match s.tokens with _ :: rest when rest <> [] -> s.tokens <- rest | _ -> ()
+
+let expect s token what =
+  let tok = peek s in
+  if Token.equal tok.Loc.value token then advance s
+  else fail tok.Loc.loc "expected %s, found '%a'" what Token.pp tok.Loc.value
+
+let ident s what =
+  let tok = peek s in
+  match tok.Loc.value with
+  | Token.Ident name ->
+    advance s;
+    Loc.at tok.Loc.loc name
+  | other -> fail tok.Loc.loc "expected %s, found '%a'" what Token.pp other
+
+let role s =
+  let tok = peek s in
+  match tok.Loc.value with
+  | Token.Kw_consumer ->
+    advance s;
+    Ast.Consumer
+  | Token.Kw_producer ->
+    advance s;
+    Ast.Producer
+  | Token.Kw_broker ->
+    advance s;
+    Ast.Broker
+  | other -> fail tok.Loc.loc "expected a role (consumer/producer/broker), found '%a'" Token.pp other
+
+let leg s =
+  let party = ident s "a party name" in
+  let tok = peek s in
+  match tok.Loc.value with
+  | Token.Kw_pays -> (
+    advance s;
+    let tok = peek s in
+    match tok.Loc.value with
+    | Token.Money cents ->
+      advance s;
+      Ast.{ party; asset = Pays cents }
+    | other -> fail tok.Loc.loc "expected a money literal, found '%a'" Token.pp other)
+  | Token.Kw_gives -> (
+    advance s;
+    let tok = peek s in
+    match tok.Loc.value with
+    | Token.String doc ->
+      advance s;
+      Ast.{ party; asset = Gives doc }
+    | other -> fail tok.Loc.loc "expected a quoted document name, found '%a'" Token.pp other)
+  | other -> fail tok.Loc.loc "expected 'pays' or 'gives', found '%a'" Token.pp other
+
+let side s =
+  let tok = peek s in
+  match tok.Loc.value with
+  | Token.Kw_buyer | Token.Kw_left ->
+    advance s;
+    Ast.Buyer
+  | Token.Kw_seller | Token.Kw_right ->
+    advance s;
+    Ast.Seller
+  | other ->
+    fail tok.Loc.loc "expected a side (buyer/seller/left/right), found '%a'" Token.pp other
+
+let cref s =
+  let deal = ident s "a deal name" in
+  expect s Token.Dot "'.'";
+  let side = side s in
+  Ast.{ deal; side }
+
+let decl s =
+  let tok = peek s in
+  match tok.Loc.value with
+  | Token.Kw_principal ->
+    advance s;
+    let name = ident s "a principal name" in
+    expect s Token.Colon "':'";
+    let role = role s in
+    Some (Ast.Principal { name; role })
+  | Token.Kw_trusted ->
+    advance s;
+    Some (Ast.Trusted (ident s "a trusted-agent name"))
+  | Token.Kw_deal ->
+    advance s;
+    let id = ident s "a deal name" in
+    expect s Token.Colon "':'";
+    let first = leg s in
+    expect s Token.Semicolon "';'";
+    let second = leg s in
+    expect s Token.Semicolon "';'";
+    expect s Token.Kw_via "'via'";
+    let via = ident s "a trusted-agent name" in
+    let deadline =
+      let tok = peek s in
+      match tok.Loc.value with
+      | Token.Kw_within -> (
+        advance s;
+        let tok = peek s in
+        match tok.Loc.value with
+        | Token.Int n ->
+          advance s;
+          Some n
+        | other -> fail tok.Loc.loc "expected a tick count after 'within', found '%a'" Token.pp other)
+      | _ -> None
+    in
+    Some (Ast.Deal { id; first; second; via; deadline })
+  | Token.Kw_priority ->
+    advance s;
+    let owner = ident s "a party name" in
+    expect s Token.Colon "':'";
+    Some (Ast.Priority { owner; target = cref s })
+  | Token.Kw_split ->
+    advance s;
+    let owner = ident s "a party name" in
+    expect s Token.Colon "':'";
+    Some (Ast.Split { owner; target = cref s })
+  | Token.Kw_trust ->
+    advance s;
+    let truster = ident s "a principal name" in
+    expect s Token.Arrow "'->'";
+    let trustee = ident s "a principal name" in
+    Some (Ast.Trust { truster; trustee })
+  | Token.Kw_relay ->
+    advance s;
+    Some (Ast.Relay (ident s "a principal name"))
+  | Token.Kw_request ->
+    advance s;
+    let id = ident s "a request name" in
+    expect s Token.Colon "':'";
+    let buyer = ident s "a buyer name" in
+    expect s Token.Kw_buys "'buys'";
+    let good =
+      let tok = peek s in
+      match tok.Loc.value with
+      | Token.String good ->
+        advance s;
+        good
+      | other -> fail tok.Loc.loc "expected a quoted document name, found '%a'" Token.pp other
+    in
+    expect s Token.Kw_from "'from'";
+    let seller = ident s "a seller name" in
+    expect s Token.Kw_for "'for'";
+    let price =
+      let tok = peek s in
+      match tok.Loc.value with
+      | Token.Money cents ->
+        advance s;
+        cents
+      | other -> fail tok.Loc.loc "expected a money literal, found '%a'" Token.pp other
+    in
+    Some (Ast.Request { id; buyer; good; seller; price })
+  | Token.Kw_persona ->
+    advance s;
+    let trusted = ident s "a trusted-agent name" in
+    expect s Token.Kw_is "'is'";
+    let principal = ident s "a principal name" in
+    Some (Ast.Persona { trusted; principal })
+  | Token.Eof -> None
+  | other -> fail tok.Loc.loc "expected a declaration, found '%a'" Token.pp other
+
+let parse src =
+  match Lexer.tokenize src with
+  | Error e -> Error { message = e.Lexer.message; loc = e.Lexer.loc }
+  | Ok tokens -> (
+    let s = { tokens } in
+    let rec loop acc =
+      match decl s with None -> List.rev acc | Some d -> loop (d :: acc)
+    in
+    match loop [] with
+    | program -> Ok program
+    | exception Parse_error e -> Error e)

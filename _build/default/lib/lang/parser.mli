@@ -1,0 +1,25 @@
+(** Recursive-descent parser for the exchange DSL.
+
+    Grammar (tokens from {!Lexer}):
+    {v
+    program   := decl* EOF
+    decl      := "principal" IDENT ":" role
+               | "trusted" IDENT
+               | "deal" IDENT ":" leg ";" leg ";" "via" IDENT ["within" INT]
+               | "priority" IDENT ":" cref
+               | "split" IDENT ":" cref
+               | "trust" IDENT "->" IDENT
+               | "persona" IDENT "is" IDENT
+               | "relay" IDENT
+               | "request" IDENT ":" IDENT "buys" STRING "from" IDENT "for" MONEY
+    role      := "consumer" | "producer" | "broker"
+    leg       := IDENT ("pays" MONEY | "gives" STRING)
+    cref      := IDENT "." ("buyer" | "seller" | "left" | "right")
+    v} *)
+
+type error = { message : string; loc : Loc.t }
+
+val parse : string -> (Ast.program, error) result
+(** Lex and parse. Lexer errors are reported through the same type. *)
+
+val pp_error : Format.formatter -> error -> unit

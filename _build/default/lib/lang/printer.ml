@@ -1,0 +1,96 @@
+open Exchange
+
+let pp_role ppf = function
+  | Party.Consumer -> Format.pp_print_string ppf "consumer"
+  | Party.Producer -> Format.pp_print_string ppf "producer"
+  | Party.Broker -> Format.pp_print_string ppf "broker"
+
+let pp_leg ppf (party, asset) =
+  match asset with
+  | Asset.Money cents ->
+    Format.fprintf ppf "%s pays %s" (Party.name party) (Token.to_string (Token.Money cents))
+  | Asset.Document doc -> Format.fprintf ppf "%s gives %S" (Party.name party) doc
+
+let pp_side ppf = function
+  | Spec.Left -> Format.pp_print_string ppf "buyer"
+  | Spec.Right -> Format.pp_print_string ppf "seller"
+
+let pp_cref ppf (c : Spec.commitment_ref) =
+  Format.fprintf ppf "%s.%a" c.Spec.deal pp_side c.Spec.side
+
+let pp ppf spec =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun p ->
+      match Party.role p with
+      | Some role -> Format.fprintf ppf "principal %s : %a@," (Party.name p) pp_role role
+      | None -> ())
+    (Spec.principals spec);
+  List.iter (fun t -> Format.fprintf ppf "trusted %s@," (Party.name t)) (Spec.trusted_agents spec);
+  Format.fprintf ppf "@,";
+  List.iter
+    (fun (d : Spec.deal) ->
+      Format.fprintf ppf "deal %s: %a; %a; via %s%t@," d.Spec.id pp_leg
+        (d.Spec.left, d.Spec.left_sends) pp_leg
+        (d.Spec.right, d.Spec.right_sends)
+        (Party.name d.Spec.via)
+        (fun ppf ->
+          match d.Spec.deadline with
+          | Some n -> Format.fprintf ppf " within %d" n
+          | None -> ()))
+    spec.Spec.deals;
+  Party.Map.iter
+    (fun trusted principal ->
+      Format.fprintf ppf "persona %s is %s@," (Party.name trusted) (Party.name principal))
+    spec.Spec.personas;
+  List.iter
+    (fun (owner, cref) ->
+      Format.fprintf ppf "priority %s : %a@," (Party.name owner) pp_cref cref)
+    spec.Spec.priorities;
+  List.iter
+    (fun (owner, cref) -> Format.fprintf ppf "split %s : %a@," (Party.name owner) pp_cref cref)
+    spec.Spec.splits;
+  Format.fprintf ppf "@]"
+
+let to_string spec = Format.asprintf "%a" pp spec
+
+let web_to_string (w : Elaborate.web) =
+  let buf = Buffer.create 256 in
+  let declared = Hashtbl.create 8 in
+  let declare party =
+    if not (Hashtbl.mem declared (Party.to_string party)) then begin
+      Hashtbl.replace declared (Party.to_string party) ();
+      match Party.role party with
+      | Some role ->
+        Buffer.add_string buf
+          (Format.asprintf "principal %s : %a\n" (Party.name party) pp_role role)
+      | None -> Buffer.add_string buf (Printf.sprintf "trusted %s\n" (Party.name party))
+    end
+  in
+  List.iter
+    (fun (a, b) ->
+      declare a;
+      declare b)
+    w.Elaborate.trusts;
+  List.iter declare w.Elaborate.relays;
+  List.iter
+    (fun (_, buyer, _, seller, _) ->
+      declare buyer;
+      declare seller)
+    w.Elaborate.requests;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "trust %s -> %s\n" (Party.name a) (Party.name b)))
+    w.Elaborate.trusts;
+  List.iter
+    (fun r -> Buffer.add_string buf (Printf.sprintf "relay %s\n" (Party.name r)))
+    w.Elaborate.relays;
+  List.iter
+    (fun (id, buyer, good, seller, price) ->
+      Buffer.add_string buf
+        (Printf.sprintf "request %s: %s buys %S from %s for %s\n" id (Party.name buyer) good
+           (Party.name seller)
+           (Token.to_string (Token.Money price))))
+    w.Elaborate.requests;
+  Buffer.contents buf

@@ -1,0 +1,41 @@
+(** Tokens of the exchange-specification DSL. *)
+
+type t =
+  | Ident of string
+  | String of string  (** double-quoted document name *)
+  | Money of int  (** cents; lexed from [$12] or [$12.34] *)
+  | Int of int  (** bare integer, e.g. a deadline tick count *)
+  | Colon
+  | Semicolon
+  | Dot
+  | Arrow  (** [->] *)
+  | Kw_principal
+  | Kw_consumer
+  | Kw_producer
+  | Kw_broker
+  | Kw_trusted
+  | Kw_deal
+  | Kw_pays
+  | Kw_gives
+  | Kw_via
+  | Kw_within
+  | Kw_relay
+  | Kw_request
+  | Kw_buys
+  | Kw_from
+  | Kw_for
+  | Kw_priority
+  | Kw_split
+  | Kw_trust
+  | Kw_persona
+  | Kw_is
+  | Kw_buyer
+  | Kw_seller
+  | Kw_left
+  | Kw_right
+  | Eof
+
+val keyword : string -> t option
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

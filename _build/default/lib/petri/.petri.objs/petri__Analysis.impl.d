@@ -1,0 +1,1 @@
+lib/petri/analysis.ml: Array Hashtbl List Net Queue

@@ -1,0 +1,1 @@
+lib/petri/analysis.mli: Net

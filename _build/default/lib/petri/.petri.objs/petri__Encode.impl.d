@@ -1,0 +1,1 @@
+lib/petri/encode.ml: Analysis Array List Net Printf Trust_core

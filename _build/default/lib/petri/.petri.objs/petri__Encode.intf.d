@@ -1,0 +1,1 @@
+lib/petri/encode.mli: Analysis Exchange Net Spec Trust_core

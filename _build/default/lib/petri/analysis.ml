@@ -1,0 +1,116 @@
+type stats = { explored : int; frontier_peak : int; hit_bound : bool }
+
+type 'verdict result = { verdict : 'verdict; stats : stats }
+
+module Marking_table = Hashtbl.Make (struct
+  type t = Net.Marking.t
+
+  let equal = Net.Marking.equal
+  let hash = Net.Marking.hash
+end)
+
+let reachable ?(max_states = 1_000_000) net initial ~goal =
+  let visited = Marking_table.create 1024 in
+  let queue = Queue.create () in
+  Marking_table.replace visited initial ();
+  Queue.add (initial, []) queue;
+  let explored = ref 0 and peak = ref 1 in
+  let rec loop () =
+    if Queue.is_empty queue then
+      { verdict = `Exhausted; stats = { explored = !explored; frontier_peak = !peak; hit_bound = false } }
+    else begin
+      let m, trace = Queue.pop queue in
+      incr explored;
+      if goal m then
+        {
+          verdict = `Found (List.rev trace);
+          stats = { explored = !explored; frontier_peak = !peak; hit_bound = false };
+        }
+      else if Marking_table.length visited >= max_states then
+        { verdict = `Bound_hit; stats = { explored = !explored; frontier_peak = !peak; hit_bound = true } }
+      else begin
+        List.iter
+          (fun t ->
+            let m' = Net.fire net m t in
+            if not (Marking_table.mem visited m') then begin
+              Marking_table.replace visited m' ();
+              Queue.add (m', t :: trace) queue
+            end)
+          (Net.enabled_transitions net m);
+        peak := max !peak (Queue.length queue);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let state_space_size ?max_states net initial =
+  let r = reachable ?max_states net initial ~goal:(fun _ -> false) in
+  match r.verdict with
+  | `Exhausted -> Some r.stats.explored
+  | `Bound_hit | `Found _ -> None
+
+(* Karp-Miller with omega represented as max_int. *)
+let omega = max_int
+
+let km_fire net m t =
+  let m' = Array.copy m in
+  List.iter (fun (p, w) -> if m'.(p) <> omega then m'.(p) <- m'.(p) - w) (Net.pre net t);
+  List.iter (fun (p, w) -> if m'.(p) <> omega then m'.(p) <- m'.(p) + w) (Net.post net t);
+  m'
+
+let km_enabled net (m : int array) t =
+  List.for_all (fun (p, w) -> m.(p) = omega || m.(p) >= w) (Net.pre net t)
+
+let strictly_dominates (a : int array) b =
+  let ge = ref true and gt = ref false in
+  Array.iteri
+    (fun i ai ->
+      if ai < b.(i) then ge := false;
+      if ai > b.(i) then gt := true)
+    a;
+  !ge && !gt
+
+let accelerate ancestors m =
+  let m' = Array.copy m in
+  List.iter
+    (fun anc ->
+      if strictly_dominates m anc then
+        Array.iteri (fun i v -> if v > anc.(i) then m'.(i) <- omega) m)
+    ancestors;
+  m'
+
+let km_covers (m : int array) target =
+  Array.for_all2 (fun have need -> have = omega || have >= need) m target
+
+let coverable ?(max_nodes = 200_000) net initial ~target =
+  let initial = Net.Marking.to_array initial and target = Net.Marking.to_array target in
+  let nodes = ref 0 and peak = ref 1 in
+  let exception Covered in
+  let exception Bound in
+  (* Depth-first tree construction; each node carries its ancestor chain
+     for acceleration and subsumption. *)
+  let rec visit ancestors m =
+    incr nodes;
+    if !nodes > max_nodes then raise Bound;
+    if km_covers m target then raise Covered;
+    (* prune: identical marking already on the ancestor path *)
+    if not (List.exists (fun anc -> anc = m) ancestors) then begin
+      let m = accelerate ancestors m in
+      if km_covers m target then raise Covered;
+      let children =
+        List.filter_map
+          (fun t -> if km_enabled net m t then Some (km_fire net m t) else None)
+          (List.init (Net.transition_count net) (fun i -> i))
+      in
+      peak := max !peak (List.length children);
+      List.iter (visit (m :: ancestors)) children
+    end
+  in
+  let finish verdict hit_bound =
+    { verdict; stats = { explored = !nodes; frontier_peak = !peak; hit_bound } }
+  in
+  match visit [] (Array.copy initial) with
+  | () -> finish `Not_coverable false
+  | exception Covered -> finish `Coverable false
+  | exception Bound -> finish `Bound_hit true

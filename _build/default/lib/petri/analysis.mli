@@ -1,0 +1,35 @@
+(** Net analyses: bounded reachability and Karp–Miller coverability.
+
+    Reachability enumerates the exact state space breadth-first with a
+    visited set — exponential in general, which is precisely the cost
+    contrast §7.4 draws against the polynomial graph reduction. The
+    Karp–Miller construction answers general coverability queries with
+    ω-abstraction for unbounded places. *)
+
+type stats = { explored : int; frontier_peak : int; hit_bound : bool }
+
+type 'verdict result = { verdict : 'verdict; stats : stats }
+
+val reachable :
+  ?max_states:int ->
+  Net.t ->
+  Net.Marking.t ->
+  goal:(Net.Marking.t -> bool) ->
+  [ `Found of Net.transition list | `Exhausted | `Bound_hit ] result
+(** Breadth-first search from the initial marking. [`Found trace]
+    returns a firing sequence reaching a goal marking. [max_states]
+    (default [1_000_000]) bounds the visited set; [`Bound_hit] means the
+    search was cut off undecided. *)
+
+val coverable :
+  ?max_nodes:int ->
+  Net.t ->
+  Net.Marking.t ->
+  target:Net.Marking.t ->
+  [ `Coverable | `Not_coverable | `Bound_hit ] result
+(** Karp–Miller tree construction: is some marking [>= target]
+    reachable? ω-acceleration makes the answer exact for unbounded nets
+    when [max_nodes] (default [200_000]) is not hit. *)
+
+val state_space_size : ?max_states:int -> Net.t -> Net.Marking.t -> int option
+(** Exact number of reachable markings, [None] if the bound is hit. *)

@@ -1,0 +1,89 @@
+(* Encoding of sequencing graphs into nets. *)
+module Sequencing = Trust_core.Sequencing
+
+type t = {
+  net : Net.t;
+  initial : Net.Marking.t;
+  goal : Net.Marking.t;
+  edge_places : ((int * int) * (Net.place * Net.place)) list;
+}
+
+let of_sequencing g =
+  let net = Net.create () in
+  let edges =
+    List.concat_map
+      (fun c ->
+        List.map
+          (fun (jid, colour) -> (c.Sequencing.cid, jid, colour))
+          (Sequencing.edges_of_commitment g c.Sequencing.cid))
+      (Array.to_list (Sequencing.commitments g))
+  in
+  let edge_places =
+    List.map
+      (fun (cid, jid, _) ->
+        let on = Net.add_place ~name:(Printf.sprintf "on_c%d_j%d" cid jid) net in
+        let off = Net.add_place ~name:(Printf.sprintf "off_c%d_j%d" cid jid) net in
+        ((cid, jid), (on, off)))
+      edges
+  in
+  let places_of cid jid = List.assoc (cid, jid) edge_places in
+  let off_of cid jid = snd (places_of cid jid) in
+  let read places = List.map (fun p -> (p, 1)) places in
+  (* Rule #1 on edge (c, j): the commitment's other edge (if any) must be
+     off; every red sibling must be off unless the persona clause holds. *)
+  List.iter
+    (fun (cid, jid, _) ->
+      let on, off = places_of cid jid in
+      let other_edges =
+        List.filter_map
+          (fun (jid', _) -> if jid' <> jid then Some (off_of cid jid') else None)
+          (Sequencing.edges_of_commitment g cid)
+      in
+      let red_siblings =
+        if Sequencing.plays_own_agent g cid then []
+        else
+          List.filter_map
+            (fun (cid', colour) ->
+              if cid' <> cid && colour = Sequencing.Red then Some (off_of cid' jid) else None)
+            (Sequencing.edges_of_conjunction g jid)
+      in
+      let side = read (other_edges @ red_siblings) in
+      ignore
+        (Net.add_transition
+           ~name:(Printf.sprintf "r1_c%d_j%d" cid jid)
+           net
+           ~pre:((on, 1) :: side)
+           ~post:((off, 1) :: side));
+      (* Rule #2 on the same edge: every sibling edge of j must be off. *)
+      let conj_siblings =
+        List.filter_map
+          (fun (cid', _) -> if cid' <> cid then Some (off_of cid' jid) else None)
+          (Sequencing.edges_of_conjunction g jid)
+      in
+      let side2 = read conj_siblings in
+      ignore
+        (Net.add_transition
+           ~name:(Printf.sprintf "r2_c%d_j%d" cid jid)
+           net
+           ~pre:((on, 1) :: side2)
+           ~post:((off, 1) :: side2)))
+    edges;
+  let initial = Net.Marking.initial net (List.map (fun (_, (on, _)) -> (on, 1)) edge_places) in
+  let goal = Net.Marking.initial net (List.map (fun (_, (_, off)) -> (off, 1)) edge_places) in
+  { net; initial; goal; edge_places }
+
+let of_spec spec = of_sequencing (Sequencing.build spec)
+
+let feasible ?max_states t =
+  let r =
+    Analysis.reachable ?max_states t.net t.initial ~goal:(fun m -> Net.Marking.covers m t.goal)
+  in
+  let verdict =
+    match r.Analysis.verdict with
+    | `Found _ -> `Feasible
+    | `Exhausted -> `Infeasible
+    | `Bound_hit -> `Unknown
+  in
+  (verdict, r.Analysis.stats)
+
+let reduction_orders ?max_states t = Analysis.state_space_size ?max_states t.net t.initial

@@ -1,0 +1,41 @@
+let is_numeric cell =
+  cell <> ""
+  && String.for_all
+       (fun c -> (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '$' || c = '%' || c = 'x')
+       cell
+
+let pad_row width row = row @ List.init (max 0 (width - List.length row)) (fun _ -> "")
+
+let render ~header rows =
+  let width = List.length header in
+  let rows = List.map (pad_row width) rows in
+  let all = header :: rows in
+  let col_width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all
+  in
+  let widths = List.init width col_width in
+  let render_cell i cell =
+    let w = List.nth widths i in
+    let padding = String.make (w - String.length cell) ' ' in
+    if is_numeric cell then padding ^ cell else cell ^ padding
+  in
+  let render_row row = "| " ^ String.concat " | " (List.mapi render_cell row) ^ " |" in
+  let rule = "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|" in
+  String.concat "\n" ((render_row header :: rule :: List.map render_row rows) @ [ "" ])
+
+let print ~header rows = print_string (render ~header rows)
+
+let section title =
+  let rule = String.make (max 4 (72 - String.length title - 6)) '=' in
+  Printf.printf "\n==== %s %s\n\n" title rule
+
+let kv pairs =
+  let key_width = List.fold_left (fun acc (k, _) -> max acc (String.length k)) 0 pairs in
+  String.concat ""
+    (List.map
+       (fun (k, v) -> Printf.sprintf "  %s%s : %s\n" k (String.make (key_width - String.length k) ' ') v)
+       pairs)
+
+let money cents =
+  if cents mod 100 = 0 then Printf.sprintf "$%d" (cents / 100)
+  else Printf.sprintf "$%d.%02d" (cents / 100) (abs cents mod 100)

@@ -1,0 +1,16 @@
+(** Plain-text tables for the experiment harness: fixed-width columns,
+    a header rule, right-aligned numeric-looking cells. *)
+
+val render : header:string list -> string list list -> string
+(** Rows shorter than the header are padded with empty cells. *)
+
+val print : header:string list -> string list list -> unit
+
+val section : string -> unit
+(** Prints a titled horizontal rule to stdout. *)
+
+val kv : (string * string) list -> string
+(** Aligned key/value block. *)
+
+val money : int -> string
+(** Cents to ["$d[.cc]"], matching {!Exchange.Asset.pp_money}. *)

@@ -1,0 +1,1 @@
+lib/sim/audit.ml: Asset Engine Exchange Format List Outcomes Party Spec Trust_core

@@ -1,0 +1,1 @@
+lib/sim/audit.mli: Engine Exchange Format Party Spec Trust_core

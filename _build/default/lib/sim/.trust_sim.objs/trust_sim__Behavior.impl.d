@@ -1,0 +1,1 @@
+lib/sim/behavior.ml: Action Asset Exchange Format Hashtbl List Party Spec String Trust_core

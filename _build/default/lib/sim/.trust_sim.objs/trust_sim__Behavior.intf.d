@@ -1,0 +1,1 @@
+lib/sim/behavior.mli: Action Exchange Format Party Spec Trust_core

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Action Asset Behavior Event_queue Exchange Format Hashtbl List Option Party Spec State Trust_core

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Action Asset Behavior Exchange Format Party Spec State Trust_core

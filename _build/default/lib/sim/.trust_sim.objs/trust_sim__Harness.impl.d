@@ -1,0 +1,1 @@
+lib/sim/harness.ml: Action Asset Behavior Engine Exchange Format List Option Party Result Spec Trust_core

@@ -1,0 +1,1 @@
+lib/sim/harness.mli: Behavior Engine Exchange Format Party Spec Trust_core

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Action Asset Engine Exchange Format List Party Spec

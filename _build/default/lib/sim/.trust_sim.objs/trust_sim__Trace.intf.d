@@ -1,0 +1,1 @@
+lib/sim/trace.mli: Action Asset Engine Exchange Format Party Spec State

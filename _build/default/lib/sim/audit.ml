@@ -1,0 +1,79 @@
+open Exchange
+module Indemnity = Trust_core.Indemnity
+
+type verdict = {
+  party : Party.t;
+  honest : bool;
+  acceptable : bool;
+  no_loss : bool;
+  preferred : bool;
+}
+
+type report = {
+  verdicts : verdict list;
+  honest_all_acceptable : bool;
+  honest_no_loss : bool;
+  all_preferred : bool;
+  conserved : bool;
+}
+
+let bag_totals bags =
+  List.fold_left
+    (fun (money, docs) bag ->
+      let docs =
+        List.fold_left (fun acc (_, n) -> acc + n) docs (Asset.Bag.documents bag)
+      in
+      (money + Asset.Bag.balance bag, docs))
+    (0, 0) bags
+
+let audit spec ?plan ?(defectors = []) (result : Engine.result) =
+  let deposits = match plan with Some p -> p.Indemnity.offers | None -> [] in
+  (* Judge against the split spec: accepted indemnities redefine the
+     parties' acceptable states (§6). *)
+  let spec = match plan with Some p -> Indemnity.apply p spec | None -> spec in
+  let judged_parties =
+    List.filter
+      (fun party -> not (Party.is_trusted party && Spec.persona_of spec party <> None))
+      (Spec.parties spec)
+  in
+  let verdicts =
+    List.map
+      (fun party ->
+        {
+          party;
+          honest = not (List.exists (Party.equal party) defectors);
+          acceptable = Outcomes.acceptable spec ~party result.Engine.state;
+          no_loss = Outcomes.no_loss spec ~party result.Engine.state;
+          preferred = Outcomes.preferred_reached spec ~party result.Engine.state;
+        })
+      judged_parties
+  in
+  let honest_all_acceptable =
+    List.for_all (fun v -> (not v.honest) || v.acceptable) verdicts
+  in
+  let honest_no_loss = List.for_all (fun v -> (not v.honest) || v.no_loss) verdicts in
+  let all_preferred = List.for_all (fun v -> v.preferred) verdicts in
+  let initial_total =
+    bag_totals
+      (List.map
+         (fun (party, _) -> Engine.initial_endowment spec ~deposits party)
+         result.Engine.holdings)
+  in
+  let final_total = bag_totals (List.map snd result.Engine.holdings) in
+  {
+    verdicts;
+    honest_all_acceptable;
+    honest_no_loss;
+    all_preferred;
+    conserved = initial_total = final_total;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>audit: honest-acceptable=%b honest-no-loss=%b all-preferred=%b conserved=%b"
+    r.honest_all_acceptable r.honest_no_loss r.all_preferred r.conserved;
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "@,  %-14s honest=%b acceptable=%b no-loss=%b preferred=%b"
+        (Party.to_string v.party) v.honest v.acceptable v.no_loss v.preferred)
+    r.verdicts;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,170 @@
+open Exchange
+module Indemnity = Trust_core.Indemnity
+
+type config = {
+  latency : int;
+  deadline : int;
+  max_events : int;
+  broadcast : bool;
+  drop : (int -> Action.t -> bool) option;
+}
+
+let default_config =
+  { latency = 1; deadline = 1_000; max_events = 100_000; broadcast = false; drop = None }
+
+type delivery = { at : int; action : Action.t }
+
+type result = {
+  state : State.t;
+  log : delivery list;
+  holdings : (Party.t * Asset.Bag.t) list;
+  stalled : (Party.t * Action.t) list;
+  events : int;
+}
+
+let initial_endowment spec ~deposits party =
+  if Party.is_trusted party then Asset.Bag.empty
+  else begin
+    let add_deal_side bag (cref, d) =
+      if Party.equal (Spec.commitment_principal d cref.Spec.side) party then begin
+        let asset = Spec.commitment_sends d cref.Spec.side in
+        match asset with
+        | Asset.Money _ -> Asset.Bag.add asset bag
+        | Asset.Document _ ->
+          (* A document acquired through another deal is not endowed:
+             the reselling broker starts without it. *)
+          let acquires_elsewhere =
+            List.exists
+              (fun (cref', d') ->
+                Party.equal (Spec.commitment_principal d' cref'.Spec.side) party
+                && Asset.equal (Spec.commitment_expects d' cref'.Spec.side) asset)
+              (Spec.commitments spec)
+          in
+          if acquires_elsewhere then bag else Asset.Bag.add asset bag
+      end
+      else bag
+    in
+    let bag = List.fold_left add_deal_side Asset.Bag.empty (Spec.commitments spec) in
+    List.fold_left
+      (fun bag offer ->
+        if Party.equal offer.Indemnity.offered_by party then
+          Asset.Bag.add (Asset.money offer.Indemnity.amount) bag
+        else bag)
+      bag deposits
+  end
+
+type event = Deliver of Action.t | Fire_expiry of string | Fire_deadline
+
+(* Asset flow of an action: (debited party, credited party, asset).
+   Notifications carry nothing. *)
+let flow = function
+  | Action.Do tr -> Some (tr.Action.source, tr.Action.target, tr.Action.asset)
+  | Action.Undo tr -> Some (tr.Action.target, tr.Action.source, tr.Action.asset)
+  | Action.Notify _ -> None
+
+let run ?(config = default_config) spec ~deposits ~behaviors =
+  let queue = Event_queue.create () in
+  let holdings : (string, Asset.Bag.t) Hashtbl.t = Hashtbl.create 16 in
+  let bag_of party =
+    Option.value ~default:Asset.Bag.empty (Hashtbl.find_opt holdings (Party.name party))
+  in
+  let set_bag party bag = Hashtbl.replace holdings (Party.name party) bag in
+  let behavior_of party =
+    List.find_opt (fun b -> Party.equal (Behavior.party b) party) behaviors
+  in
+  List.iter
+    (fun b ->
+      let party = Behavior.party b in
+      set_bag party (initial_endowment spec ~deposits party))
+    behaviors;
+  let state = ref State.empty in
+  let log = ref [] in
+  let pending : (Party.t * Action.t) list ref = ref [] in
+  let events = ref 0 in
+  let performed = ref 0 in
+  (* Perform an action on behalf of its performer: debit now, deliver
+     after the latency (or lose it in transit under fault injection —
+     the asset silently returns to the sender). Insufficient assets park
+     the action. *)
+  let rec perform now party action =
+    let dropped () =
+      let seq = !performed in
+      incr performed;
+      match config.drop with Some drop -> drop seq action | None -> false
+    in
+    match flow action with
+    | None -> if not (dropped ()) then
+        Event_queue.push queue ~time:(now + config.latency) (Deliver action)
+    | Some (debit, _credit, asset) -> (
+      match Asset.Bag.remove asset (bag_of debit) with
+      | Some rest ->
+        set_bag debit rest;
+        if dropped () then
+          (* lost in transit: the courier returns it *)
+          set_bag debit (Asset.Bag.add asset (bag_of debit))
+        else Event_queue.push queue ~time:(now + config.latency) (Deliver action)
+      | None -> pending := !pending @ [ (party, action) ])
+  and retry_pending now party =
+    let mine, others = List.partition (fun (p, _) -> Party.equal p party) !pending in
+    pending := others;
+    List.iter (fun (p, action) -> perform now p action) mine
+  and observe now party obs =
+    match behavior_of party with
+    | None -> ()
+    | Some b ->
+      let reactions = Behavior.react b obs in
+      List.iter (perform now party) reactions
+  in
+  (* Time zero: everyone starts; per-deal deadlines are armed. *)
+  List.iter (fun b -> observe 0 (Behavior.party b) Behavior.Start) behaviors;
+  List.iter
+    (fun d ->
+      match d.Spec.deadline with
+      | Some dl -> Event_queue.push queue ~time:dl (Fire_expiry d.Spec.id)
+      | None -> ())
+    spec.Spec.deals;
+  Event_queue.push queue ~time:config.deadline Fire_deadline;
+  let rec drain () =
+    if !events >= config.max_events then ()
+    else
+      match Event_queue.pop queue with
+      | None -> ()
+      | Some (now, Fire_expiry deal_id) ->
+        incr events;
+        List.iter (fun b -> observe now (Behavior.party b) (Behavior.Expired deal_id)) behaviors;
+        drain ()
+      | Some (now, Fire_deadline) ->
+        incr events;
+        List.iter (fun b -> observe now (Behavior.party b) Behavior.Deadline) behaviors;
+        drain ()
+      | Some (now, Deliver action) ->
+        incr events;
+        state := State.record action !state;
+        log := { at = now; action } :: !log;
+        (match flow action with
+        | Some (_, credit, asset) ->
+          set_bag credit (Asset.Bag.add asset (bag_of credit));
+          retry_pending now credit
+        | None -> ());
+        (if config.broadcast then
+           List.iter (fun b -> observe now (Behavior.party b) (Behavior.Incoming action)) behaviors
+         else observe now (Action.beneficiary action) (Behavior.Incoming action));
+        drain ()
+  in
+  drain ();
+  {
+    state = !state;
+    log = List.rev !log;
+    holdings = List.map (fun b -> let p = Behavior.party b in (p, bag_of p)) behaviors;
+    stalled = !pending;
+    events = !events;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>simulation: %d events, %d deliveries, %d stalled" r.events
+    (List.length r.log) (List.length r.stalled);
+  List.iter (fun d -> Format.fprintf ppf "@,  t=%-4d %a" d.at Action.pp d.action) r.log;
+  List.iter
+    (fun (p, bag) -> Format.fprintf ppf "@,  final %s: %a" (Party.name p) Asset.Bag.pp bag)
+    r.holdings;
+  Format.fprintf ppf "@]"

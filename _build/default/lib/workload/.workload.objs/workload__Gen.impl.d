@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Asset Exchange List Party Printf Prng Spec

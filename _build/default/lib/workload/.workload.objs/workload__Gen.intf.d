@@ -1,0 +1,1 @@
+lib/workload/gen.mli: Asset Exchange Party Prng Spec

@@ -1,0 +1,1 @@
+lib/workload/scenarios.ml: Action Asset Exchange List Party Printf Spec

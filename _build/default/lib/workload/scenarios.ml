@@ -1,0 +1,128 @@
+open Exchange
+
+let c = Party.consumer "c"
+let p = Party.producer "p"
+let b = Party.broker "b"
+let t = Party.trusted "t"
+let t1 = Party.trusted "t1"
+let t2 = Party.trusted "t2"
+
+let simple_sale =
+  Spec.make_exn
+    [ Spec.sale ~id:"cp" ~buyer:c ~seller:p ~via:t ~price:(Asset.dollars 10) ~good:"d" ]
+
+let simple_sale_direct =
+  Spec.make_exn ~personas:[ (t, p) ]
+    [ Spec.sale ~id:"cp" ~buyer:c ~seller:p ~via:t ~price:(Asset.dollars 10) ~good:"d" ]
+
+(* Example #1. The broker buys document d from the producer for $8 and
+   resells it to the consumer for $10. Deal order [bp; cb] makes the
+   deterministic reducer delete edges in the order §4.2.2 walks through
+   (producer's commitment first). *)
+let example1 =
+  Spec.make_exn
+    ~priorities:[ (b, { Spec.deal = "cb"; side = Spec.Right }) ]
+    [
+      Spec.sale ~id:"bp" ~buyer:b ~seller:p ~via:t2 ~price:(Asset.dollars 8) ~good:"d";
+      Spec.sale ~id:"cb" ~buyer:c ~seller:b ~via:t1 ~price:(Asset.dollars 10) ~good:"d";
+    ]
+
+let example1_poor_broker =
+  Spec.with_priority b { Spec.deal = "bp"; side = Spec.Left } example1
+
+(* Example #2 parties. *)
+let b1 = Party.broker "b1"
+let b2 = Party.broker "b2"
+let s1 = Party.producer "s1"
+let s2 = Party.producer "s2"
+let t3 = Party.trusted "t3"
+let t4 = Party.trusted "t4"
+
+let example2_deals =
+  [
+    Spec.sale ~id:"b1s1" ~buyer:b1 ~seller:s1 ~via:t2 ~price:(Asset.dollars 8) ~good:"d1";
+    Spec.sale ~id:"b2s2" ~buyer:b2 ~seller:s2 ~via:t4 ~price:(Asset.dollars 16) ~good:"d2";
+    Spec.sale ~id:"cb1" ~buyer:c ~seller:b1 ~via:t1 ~price:(Asset.dollars 10) ~good:"d1";
+    Spec.sale ~id:"cb2" ~buyer:c ~seller:b2 ~via:t3 ~price:(Asset.dollars 20) ~good:"d2";
+  ]
+
+let example2_priorities =
+  [
+    (b1, { Spec.deal = "cb1"; side = Spec.Right });
+    (b2, { Spec.deal = "cb2"; side = Spec.Right });
+  ]
+
+let example2 = Spec.make_exn ~priorities:example2_priorities example2_deals
+
+let example2_source_trusts_broker =
+  Spec.make_exn ~personas:[ (t2, b1) ] ~priorities:example2_priorities example2_deals
+
+let example2_broker_trusts_source =
+  Spec.make_exn ~personas:[ (t2, s1) ] ~priorities:example2_priorities example2_deals
+
+let example2_consumer = c
+let example2_sale_ref i = { Spec.deal = Printf.sprintf "cb%d" i; side = Spec.Left }
+
+let example2_broker1_indemnifies = Spec.with_split c (example2_sale_ref 1) example2
+
+(* Figure 7: three brokers, three sources, documents at $10/$20/$30. *)
+let fig7_prices = [ Asset.dollars 10; Asset.dollars 20; Asset.dollars 30 ]
+let fig7_consumer = c
+let fig7_sale_ref i = { Spec.deal = Printf.sprintf "cb%d" i; side = Spec.Left }
+
+let fig7 =
+  let broker i = Party.broker (Printf.sprintf "b%d" i) in
+  let source i = Party.producer (Printf.sprintf "s%d" i) in
+  let trusted i = Party.trusted (Printf.sprintf "t%d" i) in
+  let purchase i price =
+    Spec.sale
+      ~id:(Printf.sprintf "b%ds%d" i i)
+      ~buyer:(broker i) ~seller:(source i)
+      ~via:(trusted (2 * i))
+      ~price:(price * 8 / 10) ~good:(Printf.sprintf "d%d" i)
+  in
+  let resale i price =
+    Spec.sale
+      ~id:(Printf.sprintf "cb%d" i)
+      ~buyer:c ~seller:(broker i)
+      ~via:(trusted ((2 * i) - 1))
+      ~price ~good:(Printf.sprintf "d%d" i)
+  in
+  let deals =
+    List.concat (List.mapi (fun idx price -> [ purchase (idx + 1) price; resale (idx + 1) price ]) fig7_prices)
+  in
+  let priorities =
+    List.mapi
+      (fun idx _ ->
+        (broker (idx + 1), { Spec.deal = Printf.sprintf "cb%d" (idx + 1); side = Spec.Right }))
+      fig7_prices
+  in
+  Spec.make_exn ~priorities deals
+
+(* The §5 sequence, action for action. *)
+let paper_example1_actions =
+  [
+    Action.give p t2 "d";
+    Action.notify ~agent:t2 ~informed:b;
+    Action.pay c t1 (Asset.dollars 10);
+    Action.notify ~agent:t1 ~informed:b;
+    Action.pay b t2 (Asset.dollars 8);
+    Action.give t2 b "d";
+    Action.pay t2 p (Asset.dollars 8);
+    Action.give b t1 "d";
+    Action.give t1 c "d";
+    Action.pay t1 b (Asset.dollars 10);
+  ]
+
+let all =
+  [
+    ("simple_sale", simple_sale);
+    ("simple_sale_direct", simple_sale_direct);
+    ("example1", example1);
+    ("example1_poor_broker", example1_poor_broker);
+    ("example2", example2);
+    ("example2_source_trusts_broker", example2_source_trusts_broker);
+    ("example2_broker_trusts_source", example2_broker_trusts_source);
+    ("example2_broker1_indemnifies", example2_broker1_indemnifies);
+    ("fig7", fig7);
+  ]

@@ -1,0 +1,67 @@
+(** The paper's worked scenarios, as checked constructors.
+
+    Each value reproduces one figure or variant of the paper; the
+    experiment harness and test suite assert the paper's claims about
+    them (feasibility, deletion counts, the §5 execution sequence, the
+    Fig. 7 indemnity totals). Deal ordering matches the paper's
+    walkthroughs so the deterministic reducer deletes edges in the order
+    the figures circle. *)
+
+open Exchange
+
+val simple_sale : Spec.t
+(** §1/§2.3: customer [c] buys document [d] from producer [p] for $10
+    through trusted agent [t]. *)
+
+val simple_sale_direct : Spec.t
+(** The same sale when the customer trusts the producer directly — the
+    producer plays the trusted role; costs two messages (§8). *)
+
+val example1 : Spec.t
+(** Figures 1/3/5, §3.1: consumer buys a document from a producer
+    through a broker; [t1] between consumer and broker, [t2] between
+    broker and producer; the broker must secure its buyer first (the red
+    edge on AND-B). Feasible; the paper's 10-step sequence. *)
+
+val example1_poor_broker : Spec.t
+(** §5 end: the broker also needs the customer's funds before paying the
+    producer — a second red edge on AND-B. Infeasible. *)
+
+val example2 : Spec.t
+(** Figures 2/4/6, §3.2: consumer needs documents 1 {e and} 2, resold by
+    brokers 1 and 2 from sources 1 and 2, through four intermediaries.
+    Infeasible: reduces to the Fig. 6 impasse. *)
+
+val example2_source_trusts_broker : Spec.t
+(** §4.2.3 variant 1: Source1 trusts Broker1 (Broker1 plays the
+    Trusted2 role). Feasible — the domino effect. *)
+
+val example2_broker_trusts_source : Spec.t
+(** §4.2.3 variant 2: Broker1 trusts Source1 (Source1 plays Trusted2).
+    Still infeasible — trust is not symmetric. *)
+
+val example2_broker1_indemnifies : Spec.t
+(** §6: Broker 1's indemnity splits the consumer's conjunction edge for
+    document 1; the remaining exchange is feasible. *)
+
+val fig7 : Spec.t
+(** Figure 7: three brokers/sources, documents priced $10, $20, $30.
+    Infeasible without indemnities. *)
+
+val fig7_prices : Asset.money list
+(** The three document prices, in broker order: [$10; $20; $30]. *)
+
+val fig7_consumer : Party.t
+val fig7_sale_ref : int -> Spec.commitment_ref
+(** The consumer-side commitment of broker [i] (1-based) — the
+    conjunction edge an indemnity for document [i] splits. *)
+
+val example2_consumer : Party.t
+val example2_sale_ref : int -> Spec.commitment_ref
+
+val paper_example1_actions : Action.t list
+(** The §5 execution sequence, verbatim: the ten actions (two notifies,
+    eight transfers) the paper lists for Example #1. *)
+
+val all : (string * Spec.t) list
+(** Every named scenario, for table-driven tests. *)

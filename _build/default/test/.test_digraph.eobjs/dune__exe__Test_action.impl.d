@@ -1,0 +1,1 @@
+test/test_action.ml: Action Alcotest Asset Exchange Option Party QCheck2 QCheck_alcotest

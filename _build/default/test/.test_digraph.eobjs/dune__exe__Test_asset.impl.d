@@ -1,0 +1,1 @@
+test/test_asset.ml: Alcotest Asset Char Exchange Format QCheck2 QCheck_alcotest String

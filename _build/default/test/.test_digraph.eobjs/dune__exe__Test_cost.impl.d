@@ -1,0 +1,1 @@
+test/test_cost.ml: Action Alcotest Exchange Int64 List Party QCheck2 QCheck_alcotest Spec Trust_core Workload

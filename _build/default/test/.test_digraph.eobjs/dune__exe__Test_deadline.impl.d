@@ -1,0 +1,1 @@
+test/test_deadline.ml: Action Alcotest Asset Exchange List Party Spec State String Trust_core Trust_lang Trust_sim Workload

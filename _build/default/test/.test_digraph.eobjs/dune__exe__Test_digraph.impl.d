@@ -1,0 +1,1 @@
+test/test_digraph.ml: Alcotest Hashtbl List QCheck2 QCheck_alcotest Trust_graph

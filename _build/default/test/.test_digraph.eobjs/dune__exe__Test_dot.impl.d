@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Printf String Trust_graph

@@ -1,0 +1,1 @@
+test/test_engine.ml: Action Alcotest Asset Exchange List Party Trust_core Trust_sim Workload

@@ -1,0 +1,1 @@
+test/test_execution.ml: Action Alcotest Asset Exchange Int64 List Outcomes Party Printf QCheck2 QCheck_alcotest Spec Trust_core Workload

@@ -1,0 +1,1 @@
+test/test_feasibility.ml: Alcotest Asset Exchange Int64 List Party QCheck2 QCheck_alcotest Trust_core Workload

@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Asset Exchange Int64 List Party QCheck2 QCheck_alcotest Spec Trust_core Workload

@@ -1,0 +1,1 @@
+test/test_history.ml: Action Alcotest Asset Exchange Format History Int64 List Outcomes Party QCheck2 QCheck_alcotest Spec State String Trust_sim Workload

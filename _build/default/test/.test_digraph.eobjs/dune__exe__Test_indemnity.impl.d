@@ -1,0 +1,1 @@
+test/test_indemnity.ml: Action Alcotest Asset Exchange List Party QCheck2 QCheck_alcotest Trust_core Workload

@@ -1,0 +1,1 @@
+test/test_interaction.ml: Alcotest Exchange Int64 Interaction List Party QCheck2 QCheck_alcotest Spec String Trust_graph Workload

@@ -1,0 +1,1 @@
+test/test_outcomes.ml: Action Alcotest Asset Exchange List Outcomes Party QCheck2 QCheck_alcotest Spec State Trust_core Workload

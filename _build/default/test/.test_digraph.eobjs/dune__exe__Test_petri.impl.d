@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Int64 List Petri QCheck2 QCheck_alcotest Trust_core Workload

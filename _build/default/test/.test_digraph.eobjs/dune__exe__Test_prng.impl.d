@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Fun Int64 List QCheck2 QCheck_alcotest Workload

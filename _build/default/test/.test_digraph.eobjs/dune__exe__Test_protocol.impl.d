@@ -1,0 +1,1 @@
+test/test_protocol.ml: Action Alcotest Asset Exchange Int64 List Party QCheck2 QCheck_alcotest String Trust_core Workload

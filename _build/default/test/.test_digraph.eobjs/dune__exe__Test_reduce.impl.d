@@ -1,0 +1,1 @@
+test/test_reduce.ml: Alcotest Asset Exchange Int64 List Party Printf QCheck2 QCheck_alcotest Spec Trust_core Workload

@@ -1,0 +1,1 @@
+test/test_routing.ml: Alcotest Asset Exchange Int64 List Party QCheck2 QCheck_alcotest Spec String Trust_core Trust_sim Workload

@@ -1,0 +1,1 @@
+test/test_sequencing.ml: Alcotest Array Exchange Int64 List Option Party QCheck2 QCheck_alcotest Spec String Trust_core Workload

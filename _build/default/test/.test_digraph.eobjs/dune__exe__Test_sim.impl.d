@@ -1,0 +1,1 @@
+test/test_sim.ml: Action Alcotest Asset Exchange Int64 List Party QCheck2 QCheck_alcotest State Trust_core Trust_sim Workload

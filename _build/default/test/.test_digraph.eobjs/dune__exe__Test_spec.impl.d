@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Asset Exchange List Party Spec String Workload

@@ -1,0 +1,1 @@
+test/test_state.ml: Action Alcotest Asset Exchange List Party State

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Asset Exchange Int64 Lazy List Party QCheck2 QCheck_alcotest Spec Trust_core Trust_sim Workload

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest List QCheck2 QCheck_alcotest Trust_graph

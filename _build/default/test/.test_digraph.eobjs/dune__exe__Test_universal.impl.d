@@ -1,0 +1,1 @@
+test/test_universal.ml: Action Alcotest Exchange Int64 List Party QCheck2 QCheck_alcotest Spec Trust_core Trust_sim Workload

@@ -1,0 +1,1 @@
+test/test_web.ml: Alcotest Asset Exchange List Party Spec String Trust_core Trust_lang

@@ -1,0 +1,107 @@
+(* The §8 cost model: 2 messages under direct trust, 4 (plus a
+   notification) through an intermediary, universal-intermediary
+   comparison. *)
+
+open Exchange
+module Cost = Trust_core.Cost
+module Execution = Trust_core.Execution
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let sequence_of spec =
+  match (Trust_core.Feasibility.analyze spec).Trust_core.Feasibility.sequence with
+  | Some seq -> seq
+  | None -> Alcotest.fail "expected feasible"
+
+let test_mediated_four_transfers () =
+  let tally = Cost.tally_sequence (sequence_of Workload.Scenarios.simple_sale) in
+  check_int "four transfers" 4 tally.Cost.transfers;
+  check_int "one notification" 1 tally.Cost.notifications;
+  check_int "no compensations" 0 tally.Cost.compensations;
+  check_int "total" 5 tally.Cost.total
+
+let test_direct_two_transfers () =
+  let tally = Cost.tally_sequence (sequence_of Workload.Scenarios.simple_sale_direct) in
+  check_int "two transfers" 2 tally.Cost.transfers;
+  check_int "total" 2 tally.Cost.total
+
+let test_tally_actions () =
+  let c = Party.consumer "c" and p = Party.producer "p" and t = Party.trusted "t" in
+  let pay = Action.pay c t 100 in
+  let tally =
+    Cost.tally_actions [ pay; Action.undo pay; Action.notify ~agent:t ~informed:p ]
+  in
+  check_int "transfer" 1 tally.Cost.transfers;
+  check_int "compensation" 1 tally.Cost.compensations;
+  check_int "notification" 1 tally.Cost.notifications;
+  check_int "total" 3 tally.Cost.total
+
+let test_with_all_direct_trust () =
+  let direct = Cost.with_all_direct_trust Workload.Scenarios.example1 in
+  check_int "all roles persona'd" 2 (Party.Map.cardinal direct.Spec.personas);
+  (* the direct chain costs 4 transfers instead of 8 *)
+  let tally = Cost.tally_sequence (sequence_of direct) in
+  check_int "halved transfers" 4 tally.Cost.transfers
+
+let test_universal_transform () =
+  let universal = Cost.with_universal_intermediary Workload.Scenarios.example2 in
+  Alcotest.(check (list string)) "single intermediary" [ "t*" ]
+    (List.map Party.name (Spec.trusted_agents universal));
+  check "claimed always feasible" true (Cost.universal_feasible universal)
+
+let test_universal_tally () =
+  let tally = Cost.universal_tally Workload.Scenarios.example2 in
+  (* 8 commitments: one message in, one out each *)
+  check_int "sixteen messages" 16 tally.Cost.total;
+  check_int "no notifications" 0 tally.Cost.notifications
+
+let test_direct_trust_enables_example2 () =
+  (* §8: full mutual trust also makes example 2 feasible (cheaper than
+     indemnities). *)
+  let direct = Cost.with_all_direct_trust Workload.Scenarios.example2 in
+  check "feasible" true (Trust_core.Feasibility.is_feasible direct)
+
+let prop_direct_cheaper =
+  QCheck2.Test.make
+    ~name:"direct trust never costs more transfers than mediated execution" ~count:100
+    QCheck2.Gen.int (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Workload.Gen.random_transaction rng Workload.Gen.default_mix in
+      match (Trust_core.Feasibility.analyze spec).Trust_core.Feasibility.sequence with
+      | None -> true
+      | Some seq -> (
+        let mediated = Cost.tally_sequence seq in
+        let direct = Cost.with_all_direct_trust spec in
+        match (Trust_core.Feasibility.analyze direct).Trust_core.Feasibility.sequence with
+        | None -> false (* direct trust only removes blockers *)
+        | Some dseq ->
+          let dtally = Cost.tally_sequence dseq in
+          dtally.Cost.transfers <= mediated.Cost.transfers))
+
+let prop_direct_exactly_two_per_deal =
+  QCheck2.Test.make ~name:"fully direct chains cost two transfers per deal" ~count:30
+    QCheck2.Gen.(int_range 0 10)
+    (fun n ->
+      let seq = sequence_of (Workload.Gen.chain_direct ~brokers:n) in
+      (Cost.tally_sequence seq).Cost.transfers = 2 * (n + 1))
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "paper section 8",
+        [
+          Alcotest.test_case "mediated sale: 4 transfers + notify" `Quick
+            test_mediated_four_transfers;
+          Alcotest.test_case "direct sale: 2 transfers" `Quick test_direct_two_transfers;
+          Alcotest.test_case "tally kinds" `Quick test_tally_actions;
+          Alcotest.test_case "all-direct transform" `Quick test_with_all_direct_trust;
+          Alcotest.test_case "universal transform" `Quick test_universal_transform;
+          Alcotest.test_case "universal tally" `Quick test_universal_tally;
+          Alcotest.test_case "direct trust enables example 2" `Quick
+            test_direct_trust_enables_example2;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_direct_cheaper; prop_direct_exactly_two_per_deal ] );
+    ]

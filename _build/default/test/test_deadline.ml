@@ -1,0 +1,187 @@
+(* Per-deal escrow deadlines (§2.2) and expiring notifications (§2.5) —
+   the temporal extension §9 defers: "the complexities arising from the
+   expiration of partial exchanges and notifications". *)
+
+open Exchange
+module Harness = Trust_sim.Harness
+module Engine = Trust_sim.Engine
+module Audit = Trust_sim.Audit
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_with_deadline () =
+  let d =
+    Spec.with_deadline 40
+      (Spec.sale ~id:"x" ~buyer:(Party.consumer "c") ~seller:(Party.producer "p")
+         ~via:(Party.trusted "t") ~price:(Asset.dollars 1) ~good:"d")
+  in
+  check "recorded" true (d.Spec.deadline = Some 40)
+
+let test_validate_deadline () =
+  let bad =
+    Spec.with_deadline 0
+      (Spec.sale ~id:"x" ~buyer:(Party.consumer "c") ~seller:(Party.producer "p")
+         ~via:(Party.trusted "t") ~price:(Asset.dollars 1) ~good:"d")
+  in
+  match Spec.make [ bad ] with
+  | Error errors ->
+    check "rejected" true (List.mem "deal x: non-positive deadline" errors)
+  | Ok _ -> Alcotest.fail "zero deadline must be rejected"
+
+let test_dsl_within () =
+  let src =
+    {|principal c : consumer
+      principal p : producer
+      trusted t
+      deal cp: c pays $10; p gives "d"; via t within 40|}
+  in
+  match Trust_lang.Elaborate.from_string src with
+  | Error e -> Alcotest.fail e
+  | Ok spec ->
+    let d = List.hd spec.Spec.deals in
+    check "parsed" true (d.Spec.deadline = Some 40);
+    (* and it round-trips *)
+    (match Trust_lang.Elaborate.from_string (Trust_lang.Printer.to_string spec) with
+    | Ok spec' -> check "round trip" true ((List.hd spec'.Spec.deals).Spec.deadline = Some 40)
+    | Error e -> Alcotest.fail e)
+
+(* Example 1 with a tight deadline on the inner purchase: the producer's
+   document is returned before the broker can pay for it, and the whole
+   exchange unwinds without loss. *)
+let example1_with_inner_deadline ticks =
+  let b = Party.broker "b" and p = Party.producer "p" and c = Party.consumer "c" in
+  let t1 = Party.trusted "t1" and t2 = Party.trusted "t2" in
+  Spec.make_exn
+    ~priorities:[ (b, { Spec.deal = "cb"; side = Spec.Right }) ]
+    [
+      Spec.with_deadline ticks
+        (Spec.sale ~id:"bp" ~buyer:b ~seller:p ~via:t2 ~price:(Asset.dollars 8) ~good:"d");
+      Spec.sale ~id:"cb" ~buyer:c ~seller:b ~via:t1 ~price:(Asset.dollars 10) ~good:"d";
+    ]
+
+let run_honest spec =
+  match Harness.honest_run spec with
+  | Ok result -> result
+  | Error e -> Alcotest.fail e
+
+let test_generous_deadline_completes () =
+  let spec = example1_with_inner_deadline 100 in
+  let report = Audit.audit spec (run_honest spec) in
+  check "completes" true report.Audit.all_preferred
+
+let test_tight_deadline_unwinds () =
+  let spec = example1_with_inner_deadline 3 in
+  let result = run_honest spec in
+  let report = Audit.audit spec result in
+  check "does not complete" false report.Audit.all_preferred;
+  check "but nobody loses anything" true report.Audit.honest_no_loss;
+  check "and conservation holds" true report.Audit.conserved;
+  (* the producer got its document back at the expiry, not at the global
+     deadline *)
+  let refund =
+    List.find_opt
+      (fun d ->
+        Action.equal d.Engine.action
+          (Action.undo (Action.give (Party.producer "p") (Party.trusted "t2") "d")))
+      result.Engine.log
+  in
+  match refund with
+  | Some d -> check "returned at the expiry tick" true (d.Engine.at <= 5)
+  | None -> Alcotest.fail "document was not returned"
+
+let test_late_arrival_bounced () =
+  (* the broker's payment lands after the deal expired and is bounced *)
+  let spec = example1_with_inner_deadline 3 in
+  let result = run_honest spec in
+  let bounce =
+    Action.undo (Action.pay (Party.broker "b") (Party.trusted "t2") (Asset.dollars 8))
+  in
+  check "payment bounced" true (State.mem bounce result.Engine.state)
+
+let test_expiry_settles_deposit () =
+  (* a covered piece with its own deadline forfeits at expiry, not at the
+     end of the run *)
+  let fig7 = Workload.Scenarios.fig7 in
+  let plan = Trust_core.Indemnity.plan_greedy fig7 ~owner:Workload.Scenarios.fig7_consumer in
+  (* rebuild fig7 with a tight deadline on the covered piece cb3 *)
+  let deals =
+    List.map
+      (fun d -> if String.equal d.Spec.id "cb3" then Spec.with_deadline 30 d else d)
+      fig7.Spec.deals
+  in
+  let spec = Spec.make_exn ~priorities:fig7.Spec.priorities deals in
+  let b3 = Party.broker "b3" in
+  match Harness.adversarial_run ~plan ~defectors:[ (b3, Harness.Partial 2) ] spec with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    let payout =
+      Action.pay (Party.trusted "t5") Workload.Scenarios.fig7_consumer (Asset.dollars 30)
+    in
+    let delivery = List.find_opt (fun d -> Action.equal d.Engine.action payout) result.Engine.log in
+    (match delivery with
+    | Some d -> check "forfeited at the expiry tick" true (d.Engine.at <= 32)
+    | None -> Alcotest.fail "forfeit not delivered");
+    let report = Audit.audit spec ~plan ~defectors:[ b3 ] result in
+    check "honest safe" true report.Audit.honest_all_acceptable
+
+let test_persona_expiry_returns_goods () =
+  (* a trusting source's document comes back from the persona at the
+     deal's own expiry when the resale never materialises *)
+  let spec = Workload.Scenarios.example2_source_trusts_broker in
+  let deals =
+    List.map
+      (fun d -> if String.equal d.Spec.id "b1s1" then Spec.with_deadline 20 d else d)
+      spec.Spec.deals
+  in
+  let spec =
+    Spec.make_exn
+      ~personas:[ (Party.trusted "t2", Party.broker "b1") ]
+      ~priorities:spec.Spec.priorities deals
+  in
+  let c = Party.consumer "c" in
+  match Harness.adversarial_run ~defectors:[ (c, Harness.Silent) ] spec with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    (* b1 had already shipped the document onward to t1, so the return
+       waits until the outer escrow unwinds and b1 holds it again — the
+       persona's obligation survives the expiry. *)
+    let back = Action.undo (Action.give (Party.producer "s1") (Party.broker "b1") "d1") in
+    check "document eventually returned" true (State.mem back result.Engine.state);
+    let s1_holdings = List.assoc (Party.producer "s1") result.Engine.holdings in
+    check "s1 ends holding d1" true (Asset.Bag.holds (Asset.document "d1") s1_holdings);
+    check "honest safe" true
+      (Audit.audit spec ~defectors:[ c ] result).Trust_sim.Audit.honest_no_loss
+
+let test_expiry_count () =
+  (* each armed deadline fires exactly one expiry event *)
+  let spec = example1_with_inner_deadline 3 in
+  let result = run_honest spec in
+  check_int "no stalled leftovers counted twice" 0
+    (List.length
+       (List.filter
+          (fun (_, a) ->
+            match a with Action.Do _ -> false | Action.Undo _ | Action.Notify _ -> true)
+          result.Engine.stalled))
+
+let () =
+  Alcotest.run "deadline"
+    [
+      ( "spec and DSL",
+        [
+          Alcotest.test_case "with_deadline" `Quick test_with_deadline;
+          Alcotest.test_case "validation" `Quick test_validate_deadline;
+          Alcotest.test_case "within clause" `Quick test_dsl_within;
+        ] );
+      ( "runtime expiry",
+        [
+          Alcotest.test_case "generous deadline completes" `Quick
+            test_generous_deadline_completes;
+          Alcotest.test_case "tight deadline unwinds safely" `Quick test_tight_deadline_unwinds;
+          Alcotest.test_case "late arrivals bounced" `Quick test_late_arrival_bounced;
+          Alcotest.test_case "expiry settles deposits" `Quick test_expiry_settles_deposit;
+          Alcotest.test_case "persona returns goods at expiry" `Quick
+            test_persona_expiry_returns_goods;
+          Alcotest.test_case "expiry event hygiene" `Quick test_expiry_count;
+        ] );
+    ]

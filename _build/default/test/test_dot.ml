@@ -1,0 +1,66 @@
+module Digraph = Trust_graph.Digraph
+module Dot = Trust_graph.Dot
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i = i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1)) in
+  ln = 0 || scan 0
+
+let check_contains msg haystack needle =
+  Alcotest.(check bool) (msg ^ ": contains " ^ needle) true (contains haystack needle)
+
+let sample () =
+  let g = Digraph.create () in
+  let _ = Digraph.add_nodes g 3 in
+  Digraph.add_edge g 0 1;
+  Digraph.add_edge g 1 2;
+  g
+
+let test_directed () =
+  let dot = Dot.render ~name:"sample" (sample ()) in
+  check_contains "header" dot "digraph \"sample\"";
+  check_contains "edge" dot "n0 -> n1";
+  check_contains "closing" dot "}"
+
+let test_undirected () =
+  let dot = Dot.render ~undirected:true (sample ()) in
+  check_contains "graph kw" dot "graph \"g\"";
+  check_contains "undirected edge" dot "n1 -- n2"
+
+let test_attrs () =
+  let dot =
+    Dot.render
+      ~node_attrs:(fun v -> [ ("label", Printf.sprintf "node-%d" v); ("shape", "box") ])
+      ~edge_attrs:(fun u v -> [ ("label", Printf.sprintf "%d>%d" u v) ])
+      ~graph_attrs:[ ("rankdir", "LR") ]
+      (sample ())
+  in
+  check_contains "node label" dot "label=\"node-2\"";
+  check_contains "shape" dot "shape=\"box\"";
+  check_contains "edge label" dot "label=\"0>1\"";
+  check_contains "graph attr" dot "rankdir=\"LR\""
+
+let test_escape () =
+  Alcotest.(check string) "quotes" "say \\\"hi\\\"" (Dot.escape "say \"hi\"");
+  Alcotest.(check string) "backslash" "a\\\\b" (Dot.escape "a\\b");
+  Alcotest.(check string) "newline" "a\\nb" (Dot.escape "a\nb");
+  Alcotest.(check string) "plain" "plain" (Dot.escape "plain")
+
+let test_escaped_in_render () =
+  let g = Digraph.create () in
+  let _ = Digraph.add_node g in
+  let dot = Dot.render ~node_attrs:(fun _ -> [ ("label", "a\"b") ]) g in
+  check_contains "escaped label" dot "label=\"a\\\"b\""
+
+let () =
+  Alcotest.run "dot"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "directed graph" `Quick test_directed;
+          Alcotest.test_case "undirected graph" `Quick test_undirected;
+          Alcotest.test_case "attributes" `Quick test_attrs;
+          Alcotest.test_case "escape" `Quick test_escape;
+          Alcotest.test_case "labels escaped in output" `Quick test_escaped_in_render;
+        ] );
+    ]

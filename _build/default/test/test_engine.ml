@@ -1,0 +1,197 @@
+(* The discrete-event engine in isolation: custody accounting, parked
+   sends and retries, delivery latency, broadcast observability, and the
+   endowment computation. *)
+
+open Exchange
+module Engine = Trust_sim.Engine
+module Behavior = Trust_sim.Behavior
+module Protocol = Trust_core.Protocol
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let c = Party.consumer "c"
+let p = Party.producer "p"
+let t = Party.trusted "t"
+let spec = Workload.Scenarios.simple_sale
+
+let step action = Protocol.{ condition = Now; action }
+let after trigger action = Protocol.{ condition = Observed trigger; action }
+
+let run ?config behaviors = Engine.run ?config spec ~deposits:[] ~behaviors
+
+let test_endowments () =
+  let bag party = Engine.initial_endowment spec ~deposits:[] party in
+  check_int "consumer holds its price" (Asset.dollars 10) (Asset.Bag.balance (bag c));
+  check "producer holds its document" true (Asset.Bag.holds (Asset.document "d") (bag p));
+  check_int "trusted holds nothing" 0 (Asset.Bag.balance (bag t));
+  check "trusted holds no docs" false (Asset.Bag.holds (Asset.document "d") (bag t))
+
+let test_broker_not_endowed_with_resale_doc () =
+  let spec1 = Workload.Scenarios.example1 in
+  let bag = Engine.initial_endowment spec1 ~deposits:[] (Party.broker "b") in
+  check "broker lacks the document it resells" false
+    (Asset.Bag.holds (Asset.document "d") bag);
+  (* but holds the money for its purchase *)
+  check_int "purchase money" (Asset.dollars 8) (Asset.Bag.balance bag)
+
+let test_deposit_endowment () =
+  let fig7 = Workload.Scenarios.fig7 in
+  let plan =
+    Trust_core.Indemnity.plan_greedy fig7 ~owner:Workload.Scenarios.fig7_consumer
+  in
+  let bag =
+    Engine.initial_endowment fig7 ~deposits:plan.Trust_core.Indemnity.offers (Party.broker "b3")
+  in
+  (* purchase money $24 + deposit $30 *)
+  check_int "deposit included" (Asset.dollars 54) (Asset.Bag.balance bag)
+
+let test_delivery_latency () =
+  let behaviors = [ Behavior.scripted c [ step (Action.pay c t (Asset.dollars 10)) ] ] in
+  let result = run behaviors in
+  match result.Engine.log with
+  | [ d ] -> check_int "one latency tick" 1 d.Engine.at
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_custody_debit_credit () =
+  let behaviors =
+    [
+      Behavior.scripted c [ step (Action.pay c t (Asset.dollars 10)) ];
+      Behavior.silent t;
+    ]
+  in
+  let result = run behaviors in
+  let holdings name = List.assoc name result.Engine.holdings in
+  check_int "consumer debited" 0 (Asset.Bag.balance (holdings c));
+  check_int "trusted credited" (Asset.dollars 10) (Asset.Bag.balance (holdings t))
+
+let test_insufficient_assets_park () =
+  (* c tries to pay $11 out of a $10 endowment: the send parks forever *)
+  let behaviors = [ Behavior.scripted c [ step (Action.pay c t (Asset.dollars 11)) ] ] in
+  let result = run behaviors in
+  check_int "nothing delivered" 0 (List.length result.Engine.log);
+  check_int "one stalled send" 1 (List.length result.Engine.stalled)
+
+let test_parked_send_retries_on_credit () =
+  (* p has no money endowment (it sells a document), so its send parks;
+     once c's payment credits p, the parked send fires *)
+  let behaviors =
+    [
+      Behavior.scripted p [ step (Action.pay p c (Asset.dollars 10)) ];
+      Behavior.scripted c [ step (Action.pay c p (Asset.dollars 10)) ];
+    ]
+  in
+  let result = run behaviors in
+  check_int "both transfers delivered" 2 (List.length result.Engine.log);
+  check_int "no stalls" 0 (List.length result.Engine.stalled)
+
+let test_undo_moves_asset_back () =
+  let tr = Action.{ source = c; target = t; asset = Asset.money (Asset.dollars 10) } in
+  let behaviors =
+    [
+      Behavior.scripted c [ step (Action.Do tr) ];
+      Behavior.scripted t [ after (Action.Do tr) (Action.Undo tr) ];
+    ]
+  in
+  let result = run behaviors in
+  let holdings name = List.assoc name result.Engine.holdings in
+  check_int "consumer refunded" (Asset.dollars 10) (Asset.Bag.balance (holdings c));
+  check_int "trusted empty" 0 (Asset.Bag.balance (holdings t))
+
+let test_broadcast_observability () =
+  (* under broadcast, a third party can react to a transfer it is not
+     part of; without broadcast it cannot *)
+  let observer_script =
+    [ after (Action.pay c t (Asset.dollars 10)) (Action.give p t "d") ]
+  in
+  let behaviors () =
+    [
+      Behavior.scripted c [ step (Action.pay c t (Asset.dollars 10)) ];
+      Behavior.scripted p observer_script;
+    ]
+  in
+  let quiet = run (behaviors ()) in
+  check_int "no broadcast: p never fires" 1 (List.length quiet.Engine.log);
+  let config = { Engine.default_config with Engine.broadcast = true } in
+  let loud = run ~config (behaviors ()) in
+  check_int "broadcast: p reacts" 2 (List.length loud.Engine.log)
+
+let test_notify_carries_no_assets () =
+  let behaviors = [ Behavior.scripted t [ step (Action.notify ~agent:t ~informed:c) ] ] in
+  let result = run behaviors in
+  check_int "delivered" 1 (List.length result.Engine.log);
+  let holdings name = List.assoc name result.Engine.holdings in
+  check_int "nothing moved" 0 (Asset.Bag.balance (holdings t))
+
+let test_max_events_bound () =
+  (* two behaviours ping-ponging a document forever hit the event bound *)
+  let ping = Action.give p c "d" in
+  let pong = Action.give c p "d" in
+  let p_behavior =
+    Behavior.make p (function
+      | Behavior.Start -> [ ping ]
+      | Behavior.Incoming a when Action.equal a pong -> [ ping ]
+      | _ -> [])
+  in
+  let c_behavior =
+    Behavior.make c (function
+      | Behavior.Incoming a when Action.equal a ping -> [ pong ]
+      | _ -> [])
+  in
+  let config = { Engine.default_config with Engine.max_events = 50 } in
+  let result = run ~config [ p_behavior; c_behavior ] in
+  check_int "stopped at the bound" 50 result.Engine.events
+
+let test_drop_returns_asset () =
+  (* a dropped transfer loses the message, not the asset *)
+  let config =
+    { Engine.default_config with Engine.drop = Some (fun _ _ -> true) }
+  in
+  let behaviors = [ Behavior.scripted c [ step (Action.pay c t (Asset.dollars 10)) ] ] in
+  let result = run ~config behaviors in
+  check_int "nothing delivered" 0 (List.length result.Engine.log);
+  check_int "consumer keeps its money" (Asset.dollars 10)
+    (Asset.Bag.balance (List.assoc c result.Engine.holdings))
+
+let test_selective_drop () =
+  (* dropping only the first performed action *)
+  let config =
+    { Engine.default_config with Engine.drop = Some (fun seq _ -> seq = 0) }
+  in
+  let behaviors =
+    [
+      Behavior.scripted c
+        [ step (Action.pay c t (Asset.dollars 4)); step (Action.pay c t (Asset.dollars 6)) ];
+      Behavior.silent t;
+    ]
+  in
+  let result = run ~config behaviors in
+  check_int "second delivered" 1 (List.length result.Engine.log);
+  check_int "trusted got $6" (Asset.dollars 6)
+    (Asset.Bag.balance (List.assoc t result.Engine.holdings))
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "endowments",
+        [
+          Alcotest.test_case "simple sale" `Quick test_endowments;
+          Alcotest.test_case "resold documents not endowed" `Quick
+            test_broker_not_endowed_with_resale_doc;
+          Alcotest.test_case "indemnity deposits endowed" `Quick test_deposit_endowment;
+        ] );
+      ( "custody and delivery",
+        [
+          Alcotest.test_case "latency" `Quick test_delivery_latency;
+          Alcotest.test_case "debit and credit" `Quick test_custody_debit_credit;
+          Alcotest.test_case "insufficient assets park" `Quick test_insufficient_assets_park;
+          Alcotest.test_case "parked sends retry on credit" `Quick
+            test_parked_send_retries_on_credit;
+          Alcotest.test_case "undo moves assets back" `Quick test_undo_moves_asset_back;
+          Alcotest.test_case "broadcast observability" `Quick test_broadcast_observability;
+          Alcotest.test_case "notifications carry nothing" `Quick test_notify_carries_no_assets;
+          Alcotest.test_case "event bound" `Quick test_max_events_bound;
+          Alcotest.test_case "drops return assets" `Quick test_drop_returns_asset;
+          Alcotest.test_case "selective drop" `Quick test_selective_drop;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+open Exchange
+module Gen = Workload.Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_chain_shape () =
+  let spec = Gen.chain ~brokers:3 in
+  check_int "four deals" 4 (List.length spec.Spec.deals);
+  check_int "three red edges" 3 (List.length spec.Spec.priorities);
+  (* 4 intermediaries + consumer + producer + 3 brokers *)
+  check_int "nine parties" 9 (List.length (Spec.parties spec))
+
+let test_chain_zero_is_simple_sale () =
+  let spec = Gen.chain ~brokers:0 in
+  check_int "one deal" 1 (List.length spec.Spec.deals);
+  check_int "no red edges" 0 (List.length spec.Spec.priorities)
+
+let test_chain_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Gen.chain: negative broker count")
+    (fun () -> ignore (Gen.chain ~brokers:(-1)))
+
+let test_chain_matches_example1 () =
+  (* chain 1 and the hand-built example 1 agree on everything but prices. *)
+  let spec = Gen.chain ~brokers:1 in
+  let a = Trust_core.Feasibility.analyze spec in
+  check "feasible" true (Trust_core.Reduce.feasible a.Trust_core.Feasibility.outcome);
+  match a.Trust_core.Feasibility.sequence with
+  | Some seq -> check_int "ten messages" 10 (Trust_core.Execution.message_count seq)
+  | None -> Alcotest.fail "chain 1 must be feasible"
+
+let test_chain_direct_personas () =
+  let spec = Gen.chain_direct ~brokers:2 in
+  check_int "every deal persona'd" 3 (Party.Map.cardinal spec.Spec.personas)
+
+let test_fan_shape () =
+  let spec = Gen.fan ~prices:Workload.Scenarios.fig7_prices in
+  check_int "six deals" 6 (List.length spec.Spec.deals);
+  check_int "three reds" 3 (List.length spec.Spec.priorities)
+
+let test_fan_is_fig7 () =
+  (* Gen.fan with the paper's prices behaves exactly like the hand-built
+     Fig. 7 scenario. *)
+  let generated = Gen.fan ~prices:Workload.Scenarios.fig7_prices in
+  let owner = Gen.fan_consumer in
+  check "infeasible" false (Trust_core.Feasibility.is_feasible generated);
+  check_int "same greedy total" (Asset.dollars 70)
+    (Trust_core.Indemnity.plan_greedy generated ~owner).Trust_core.Indemnity.total
+
+let test_fan_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Gen.fan: empty price list") (fun () ->
+      ignore (Gen.fan ~prices:[]))
+
+let test_bundle_shape () =
+  let spec = Gen.bundle ~docs:4 in
+  check_int "four deals" 4 (List.length spec.Spec.deals);
+  check_int "no reds" 0 (List.length spec.Spec.priorities);
+  check "feasible" true (Trust_core.Feasibility.is_feasible spec)
+
+let test_random_transactions_deterministic () =
+  let gen seed = Gen.random_transactions (Workload.Prng.create seed) Gen.default_mix 20 in
+  let sig_of specs = List.map (fun s -> List.map (fun d -> d.Spec.id) s.Spec.deals) specs in
+  check "same seed same workload" true (sig_of (gen 9L) = sig_of (gen 9L));
+  check "different seed differs" true (sig_of (gen 9L) <> sig_of (gen 10L))
+
+let test_trust_density_extremes () =
+  let rng = Workload.Prng.create 5L in
+  let all_trusting = { Gen.default_mix with Gen.trust_density = 1.0 } in
+  let spec = Gen.random_transaction rng all_trusting in
+  check_int "every deal persona'd" (List.length spec.Spec.deals)
+    (Party.Map.cardinal spec.Spec.personas);
+  let none = { Gen.default_mix with Gen.trust_density = 0.0 } in
+  let spec' = Gen.random_transaction rng none in
+  check_int "no personas" 0 (Party.Map.cardinal spec'.Spec.personas)
+
+let test_full_trust_always_feasible () =
+  let rng = Workload.Prng.create 77L in
+  let mix = { Gen.default_mix with Gen.trust_density = 1.0 } in
+  List.iter
+    (fun spec ->
+      if not (Trust_core.Feasibility.is_feasible spec) then
+        Alcotest.fail "fully trusting transaction infeasible")
+    (Gen.random_transactions rng mix 50)
+
+let prop_generated_validate =
+  QCheck2.Test.make ~name:"every generated transaction validates" ~count:200 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Gen.random_transaction rng Gen.default_mix in
+      Spec.validate spec = Ok ())
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "chains",
+        [
+          Alcotest.test_case "shape" `Quick test_chain_shape;
+          Alcotest.test_case "zero brokers" `Quick test_chain_zero_is_simple_sale;
+          Alcotest.test_case "negative rejected" `Quick test_chain_negative;
+          Alcotest.test_case "chain 1 is example 1" `Quick test_chain_matches_example1;
+          Alcotest.test_case "direct chain personas" `Quick test_chain_direct_personas;
+        ] );
+      ( "fans and bundles",
+        [
+          Alcotest.test_case "fan shape" `Quick test_fan_shape;
+          Alcotest.test_case "fan matches fig7" `Quick test_fan_is_fig7;
+          Alcotest.test_case "empty fan rejected" `Quick test_fan_empty;
+          Alcotest.test_case "bundle shape" `Quick test_bundle_shape;
+        ] );
+      ( "random transactions",
+        [
+          Alcotest.test_case "deterministic" `Quick test_random_transactions_deterministic;
+          Alcotest.test_case "trust density extremes" `Quick test_trust_density_extremes;
+          Alcotest.test_case "full trust always feasible" `Quick test_full_trust_always_feasible;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_generated_validate ]);
+    ]

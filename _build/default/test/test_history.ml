@@ -1,0 +1,173 @@
+(* Ordered histories and sagas (§2.3 alternative representation, §7.2). *)
+
+open Exchange
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let c = Party.consumer "c"
+let p = Party.producer "p"
+let t = Party.trusted "t"
+
+let pay = Action.pay c t (Asset.dollars 10)
+let give = Action.give p t "d"
+let pay_tr = Action.{ source = c; target = t; asset = Asset.money (Asset.dollars 10) }
+let give_tr = Action.{ source = p; target = t; asset = Asset.document "d" }
+
+let test_construction () =
+  let h = History.of_actions [ pay; give ] in
+  check_int "length" 2 (History.length h);
+  Alcotest.(check (list string)) "order kept"
+    [ Action.to_string pay; Action.to_string give ]
+    (List.map Action.to_string (History.actions h));
+  check "state forgets order" true
+    (State.equal (History.to_state h) (State.of_actions [ give; pay ]))
+
+let test_well_formed_ok () =
+  let h = History.of_actions [ pay; give; Action.Undo pay_tr ] in
+  check "ok" true (History.well_formed h = Ok ())
+
+let test_undo_without_do () =
+  let h = History.of_actions [ Action.Undo pay_tr ] in
+  match History.well_formed h with
+  | Error [ History.Undo_without_do tr ] -> check "names transfer" true (tr = pay_tr)
+  | _ -> Alcotest.fail "expected Undo_without_do"
+
+let test_undo_before_do () =
+  let h = History.of_actions [ Action.Undo pay_tr; pay ] in
+  match History.well_formed h with
+  | Error [ History.Undo_before_do _ ] -> ()
+  | _ -> Alcotest.fail "expected Undo_before_do"
+
+let test_duplicates () =
+  let h = History.of_actions [ pay; pay ] in
+  (match History.well_formed h with
+  | Error [ History.Duplicate_do _ ] -> ()
+  | _ -> Alcotest.fail "expected Duplicate_do");
+  let h' = History.of_actions [ pay; Action.Undo pay_tr; Action.Undo pay_tr ] in
+  match History.well_formed h' with
+  | Error vs ->
+    check "duplicate undo reported" true
+      (List.exists (function History.Duplicate_undo _ -> true | _ -> false) vs)
+  | Ok () -> Alcotest.fail "expected Duplicate_undo"
+
+let test_compensation_pairs () =
+  let h = History.of_actions [ pay; give; Action.Undo give_tr ] in
+  match History.compensation_pairs h with
+  | [ (tr, 1, 2) ] -> check "pairs give" true (tr = give_tr)
+  | _ -> Alcotest.fail "expected one pair"
+
+let test_open_transfers () =
+  let h = History.of_actions [ pay; give; Action.Undo give_tr ] in
+  Alcotest.(check (list string)) "pay still open"
+    [ Action.to_string pay ]
+    (List.map (fun tr -> Action.to_string (Action.Do tr)) (History.open_transfers h))
+
+let test_compensating_tail_closes () =
+  (* the generated tail returns every party to an inert position *)
+  let spec = Workload.Scenarios.simple_sale in
+  let h = History.of_actions [ pay; give ] in
+  let closed = History.of_actions (History.actions h @ History.compensating_tail h) in
+  check "closed history well-formed" true (History.well_formed closed = Ok ());
+  check_int "nothing open" 0 (List.length (History.open_transfers closed));
+  let state = History.to_state closed in
+  List.iter
+    (fun party ->
+      check
+        (Party.to_string party ^ " acceptable after compensation")
+        true
+        (Outcomes.acceptable spec ~party state))
+    (Spec.parties spec)
+
+let test_compensates_in_reverse () =
+  let h = History.of_actions [ pay; give ] in
+  match History.compensating_tail h with
+  | [ Action.Undo first; Action.Undo second ] ->
+    check "give undone first" true (first = give_tr);
+    check "pay undone second" true (second = pay_tr)
+  | _ -> Alcotest.fail "expected two undos"
+
+let test_saga_for () =
+  let spec = Workload.Scenarios.simple_sale in
+  let complete =
+    History.of_actions
+      [ pay; give; Action.give t c "d"; Action.pay t p (Asset.dollars 10) ]
+  in
+  check "completed run is a saga for everyone" true
+    (List.for_all (fun party -> History.saga_for spec ~party complete) (Spec.parties spec));
+  let dangling = History.of_actions [ pay ] in
+  check "mid-flight is no saga for the consumer" false (History.saga_for spec ~party:c dangling)
+
+let test_simulation_logs_are_well_formed () =
+  (* every honest simulation log is a well-formed history, and a saga
+     for every party *)
+  List.iter
+    (fun (name, spec) ->
+      match Trust_sim.Harness.honest_run spec with
+      | Error _ -> ()
+      | Ok result ->
+        let h =
+          History.of_deliveries
+            (List.map
+               (fun d -> (d.Trust_sim.Engine.at, d.Trust_sim.Engine.action))
+               result.Trust_sim.Engine.log)
+        in
+        (match History.well_formed h with
+        | Ok () -> ()
+        | Error vs ->
+          Alcotest.failf "%s: %s" name
+            (String.concat "; " (List.map (Format.asprintf "%a" History.pp_violation) vs)));
+        List.iter
+          (fun party ->
+            if not (History.saga_for spec ~party h) then
+              Alcotest.failf "%s: not a saga for %s" name (Party.to_string party))
+          (Spec.parties spec))
+    Workload.Scenarios.all
+
+let prop_adversarial_logs_well_formed =
+  QCheck2.Test.make
+    ~name:"defection logs are well-formed histories (undo pairing holds)" ~count:60
+    QCheck2.Gen.int (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Workload.Gen.random_transaction rng Workload.Gen.default_mix in
+      match Trust_sim.Harness.defectable_principals spec with
+      | [] -> true
+      | defector :: _ -> (
+        match
+          Trust_sim.Harness.adversarial_run
+            ~defectors:[ (defector, Trust_sim.Harness.Partial 1) ]
+            spec
+        with
+        | Error _ -> true
+        | Ok result ->
+          let h =
+            History.of_deliveries
+              (List.map
+                 (fun d -> (d.Trust_sim.Engine.at, d.Trust_sim.Engine.action))
+                 result.Trust_sim.Engine.log)
+          in
+          History.well_formed h = Ok ()))
+
+let () =
+  Alcotest.run "history"
+    [
+      ( "structure",
+        [
+          Alcotest.test_case "construction" `Quick test_construction;
+          Alcotest.test_case "well-formed" `Quick test_well_formed_ok;
+          Alcotest.test_case "undo without do" `Quick test_undo_without_do;
+          Alcotest.test_case "undo before do" `Quick test_undo_before_do;
+          Alcotest.test_case "duplicates" `Quick test_duplicates;
+          Alcotest.test_case "compensation pairs" `Quick test_compensation_pairs;
+          Alcotest.test_case "open transfers" `Quick test_open_transfers;
+        ] );
+      ( "sagas",
+        [
+          Alcotest.test_case "compensating tail closes" `Quick test_compensating_tail_closes;
+          Alcotest.test_case "compensates in reverse" `Quick test_compensates_in_reverse;
+          Alcotest.test_case "saga_for" `Quick test_saga_for;
+          Alcotest.test_case "simulation logs are sagas" `Quick
+            test_simulation_logs_are_well_formed;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_adversarial_logs_well_formed ]);
+    ]

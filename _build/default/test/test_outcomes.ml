@@ -1,0 +1,198 @@
+(* Generated acceptability: the structural checker, the explicit
+   description sets, and their agreement. *)
+
+open Exchange
+
+let check = Alcotest.(check bool)
+
+let c = Party.consumer "c"
+let p = Party.producer "p"
+let t = Party.trusted "t"
+let spec = Workload.Scenarios.simple_sale
+
+let cref = { Spec.deal = "cp"; side = Spec.Left }
+let pay = Action.pay c t (Asset.dollars 10)
+let give = Action.give p t "d"
+let fwd_doc = Action.give t c "d"
+let fwd_money = Action.pay t p (Asset.dollars 10)
+
+let classify actions = Outcomes.classify spec ~party:c cref (State.of_actions actions)
+
+let outcome = Alcotest.testable Outcomes.pp_deal_outcome ( = )
+
+let test_classify_nothing () =
+  Alcotest.check outcome "empty" Outcomes.Nothing (classify [])
+
+let test_classify_complete () =
+  Alcotest.check outcome "paid and received" Outcomes.Complete (classify [ pay; fwd_doc ])
+
+let test_classify_refunded () =
+  Alcotest.check outcome "refund" Outcomes.Refunded (classify [ pay; Action.undo pay ])
+
+let test_classify_windfall () =
+  Alcotest.check outcome "free doc" Outcomes.Windfall (classify [ fwd_doc ])
+
+let test_classify_loss () =
+  Alcotest.check outcome "paid into the void" Outcomes.Loss (classify [ pay ])
+
+let test_classify_receive_sources () =
+  (* receiving from the counterparty directly also counts *)
+  Alcotest.check outcome "direct from producer" Outcomes.Complete
+    (classify [ pay; Action.give p c "d" ])
+
+let test_acceptable_simple () =
+  let acceptable actions = Outcomes.acceptable spec ~party:c (State.of_actions actions) in
+  check "complete" true (acceptable [ pay; fwd_doc ]);
+  check "status quo" true (acceptable []);
+  check "loss" false (acceptable [ pay ]);
+  check "refund" true (acceptable [ pay; Action.undo pay ])
+
+let test_trusted_conduit () =
+  let acceptable actions = Outcomes.acceptable spec ~party:t (State.of_actions actions) in
+  check "conduit" true (acceptable [ pay; give; fwd_doc; fwd_money ]);
+  check "status quo" true (acceptable []);
+  check "absconding" false (acceptable [ pay; give ]);
+  check "backout" true (acceptable [ pay; Action.undo pay ])
+
+let test_preferred () =
+  check "all complete" true
+    (Outcomes.preferred_reached spec ~party:c (State.of_actions [ pay; fwd_doc ]));
+  check "refund not preferred" false
+    (Outcomes.preferred_reached spec ~party:c (State.of_actions [ pay; Action.undo pay ]))
+
+(* bundle semantics: example 2 consumer wants both documents *)
+
+let ex2 = Workload.Scenarios.example2
+let c2 = Workload.Scenarios.example2_consumer
+let pay1 = Action.pay c2 (Party.trusted "t1") (Asset.dollars 10)
+let pay2 = Action.pay c2 (Party.trusted "t3") (Asset.dollars 20)
+let got1 = Action.give (Party.trusted "t1") c2 "d1"
+let got2 = Action.give (Party.trusted "t3") c2 "d2"
+
+let bundle_acceptable actions = Outcomes.acceptable ex2 ~party:c2 (State.of_actions actions)
+
+let test_bundle_all_or_nothing () =
+  check "both documents" true (bundle_acceptable [ pay1; got1; pay2; got2 ]);
+  check "nothing" true (bundle_acceptable []);
+  check "one of two rejected" false (bundle_acceptable [ pay1; got1; pay2; Action.undo pay2 ]);
+  check "one complete one pending rejected" false (bundle_acceptable [ pay1; got1 ]);
+  check "both refunded" true
+    (bundle_acceptable [ pay1; Action.undo pay1; pay2; Action.undo pay2 ])
+
+let test_bundle_windfalls () =
+  check "both free" true (bundle_acceptable [ got1; got2 ]);
+  check "one free, one refunded" true (bundle_acceptable [ got1; pay2; Action.undo pay2 ]);
+  check "one free, one complete" true (bundle_acceptable [ got1; pay2; got2 ])
+
+(* split semantics *)
+
+let split_spec = Workload.Scenarios.example2_broker1_indemnifies
+
+let test_split_judged_independently () =
+  let acceptable actions = Outcomes.acceptable split_spec ~party:c2 (State.of_actions actions) in
+  (* piece 1 is split: completing only piece 2 is now fine *)
+  check "piece 2 alone ok" true (acceptable [ pay2; got2 ]);
+  (* but a refund on the split piece without the payout is not *)
+  check "split refund needs payout" false (acceptable [ pay1; Action.undo pay1; pay2; got2 ]);
+  (* with the indemnity payout (>= $20, the cost of the other piece) it is *)
+  let payout = Action.pay (Party.trusted "t1") c2 (Asset.dollars 20) in
+  check "payout rescues" true (acceptable [ pay1; Action.undo pay1; payout; pay2; got2 ])
+
+let test_classify_indemnified () =
+  let payout = Action.pay (Party.trusted "t1") c2 (Asset.dollars 20) in
+  let state = State.of_actions [ pay1; Action.undo pay1; payout ] in
+  Alcotest.check outcome "indemnified" Outcomes.Indemnified
+    (Outcomes.classify split_spec ~party:c2 (Workload.Scenarios.example2_sale_ref 1) state);
+  (* an insufficient payout does not count *)
+  let small = Action.pay (Party.trusted "t1") c2 (Asset.dollars 19) in
+  let state' = State.of_actions [ pay1; Action.undo pay1; small ] in
+  Alcotest.check outcome "small payout is just a refund" Outcomes.Refunded
+    (Outcomes.classify split_spec ~party:c2 (Workload.Scenarios.example2_sale_ref 1) state')
+
+let test_extraneous_loss () =
+  (* an un-refunded transfer outside any deal (a lost deposit) is a loss *)
+  let stray = Action.pay c t (Asset.dollars 50) in
+  check "stray deposit" false (Outcomes.acceptable spec ~party:c (State.of_actions [ stray ]));
+  check "returned deposit ok" true
+    (Outcomes.acceptable spec ~party:c (State.of_actions [ stray; Action.undo stray ]))
+
+(* explicit descriptions *)
+
+let test_descriptions_simple () =
+  let acc = Outcomes.descriptions spec c in
+  check "four-ish outcomes" true (List.length acc.State.descriptions >= 4);
+  check "complete accepted" true
+    (State.acceptable acc ~party:c (State.of_actions [ pay; fwd_doc ]));
+  check "loss rejected" false (State.acceptable acc ~party:c (State.of_actions [ pay ]))
+
+let test_descriptions_bound () =
+  let wide = Workload.Gen.bundle ~docs:10 in
+  Alcotest.check_raises "bound enforced"
+    (Invalid_argument "Outcomes.descriptions: 59049 descriptions exceed the 20000 bound")
+    (fun () -> ignore (Outcomes.descriptions ~max_size:20_000 wide (Party.consumer "c")))
+
+let test_override_respected () =
+  let veto = State.{ descriptions = []; preferred = describes [] } in
+  let spec' = Spec.with_override c veto spec in
+  check "override wins" false (Outcomes.acceptable spec' ~party:c State.empty)
+
+(* agreement between the two implementations over protocol-shaped states *)
+
+let prop_descriptions_agree =
+  QCheck2.Test.make
+    ~name:"structural checker agrees with explicit descriptions on protocol prefixes" ~count:150
+    QCheck2.Gen.(pair (oneofl [ "simple_sale"; "example1"; "example2" ]) (int_range 0 40))
+    (fun (name, prefix_len) ->
+      let spec = List.assoc name Workload.Scenarios.all in
+      (* A physically meaningful state: a prefix of a valid execution of
+         the feasible variant (or of example2's rescued variant). *)
+      let runnable =
+        match Trust_core.Feasibility.rescue_with_indemnities spec with
+        | Some rescue -> rescue.Trust_core.Feasibility.analysis.Trust_core.Feasibility.spec
+        | None -> spec
+      in
+      match (Trust_core.Feasibility.analyze runnable).Trust_core.Feasibility.sequence with
+      | None -> true
+      | Some seq ->
+        let actions = Trust_core.Execution.actions seq in
+        let prefix = List.filteri (fun i _ -> i < prefix_len) actions in
+        let state = State.of_actions prefix in
+        List.for_all
+          (fun party ->
+            match Outcomes.descriptions ~max_size:20_000 runnable party with
+            | exception Invalid_argument _ -> true
+            | acc ->
+              State.acceptable acc ~party state = Outcomes.acceptable runnable ~party state)
+          (Spec.principals runnable))
+
+let () =
+  Alcotest.run "outcomes"
+    [
+      ( "classification",
+        [
+          Alcotest.test_case "nothing" `Quick test_classify_nothing;
+          Alcotest.test_case "complete" `Quick test_classify_complete;
+          Alcotest.test_case "refunded" `Quick test_classify_refunded;
+          Alcotest.test_case "windfall" `Quick test_classify_windfall;
+          Alcotest.test_case "loss" `Quick test_classify_loss;
+          Alcotest.test_case "receive sources" `Quick test_classify_receive_sources;
+          Alcotest.test_case "indemnified" `Quick test_classify_indemnified;
+        ] );
+      ( "acceptability",
+        [
+          Alcotest.test_case "simple sale" `Quick test_acceptable_simple;
+          Alcotest.test_case "trusted conduit" `Quick test_trusted_conduit;
+          Alcotest.test_case "preferred" `Quick test_preferred;
+          Alcotest.test_case "bundle all-or-nothing" `Quick test_bundle_all_or_nothing;
+          Alcotest.test_case "bundle windfalls" `Quick test_bundle_windfalls;
+          Alcotest.test_case "split independence" `Quick test_split_judged_independently;
+          Alcotest.test_case "extraneous loss" `Quick test_extraneous_loss;
+        ] );
+      ( "descriptions",
+        [
+          Alcotest.test_case "simple sale descriptions" `Quick test_descriptions_simple;
+          Alcotest.test_case "size bound" `Quick test_descriptions_bound;
+          Alcotest.test_case "override respected" `Quick test_override_respected;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_descriptions_agree ]);
+    ]

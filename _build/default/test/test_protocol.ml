@@ -1,0 +1,122 @@
+open Exchange
+module Protocol = Trust_core.Protocol
+module Execution = Trust_core.Execution
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let protocol_of spec =
+  match (Trust_core.Feasibility.analyze spec).Trust_core.Feasibility.sequence with
+  | Some seq -> Protocol.synthesize seq
+  | None -> Alcotest.fail "expected feasible"
+
+let example1 = protocol_of Workload.Scenarios.example1
+
+let test_roles_cover_actors () =
+  let actors = List.map fst example1.Protocol.roles in
+  List.iter
+    (fun name ->
+      check (name ^ " has a script") true
+        (List.exists (fun p -> String.equal (Party.name p) name) actors))
+    [ "c"; "b"; "p"; "t1"; "t2" ]
+
+let test_producer_starts_immediately () =
+  (* The producer's deposit opens the paper's sequence: nothing observable
+     precedes it. *)
+  match Protocol.script_of example1 (Party.producer "p") with
+  | { Protocol.condition = Protocol.Now; action } :: _ ->
+    check "sends document" true (Action.equal action (Action.give (Party.producer "p") (Party.trusted "t2") "d"))
+  | _ -> Alcotest.fail "producer should act immediately"
+
+let test_broker_waits_for_notify () =
+  (* The broker buys only after a notification arrives. *)
+  match Protocol.script_of example1 (Party.broker "b") with
+  | { Protocol.condition = Protocol.Observed trigger; action } :: _ ->
+    check "waits on a notification" true
+      (match trigger with Action.Notify _ -> true | _ -> false);
+    check "then pays t2" true
+      (Action.equal action (Action.pay (Party.broker "b") (Party.trusted "t2") (Asset.dollars 8)))
+  | _ -> Alcotest.fail "broker must wait"
+
+let test_broker_ships_after_receiving () =
+  (* The broker's second action (shipping the document to t1) is
+     triggered by receiving the document from t2. *)
+  match Protocol.script_of example1 (Party.broker "b") with
+  | [ _; { Protocol.condition = Protocol.Observed trigger; action } ] ->
+    check "triggered by receipt" true
+      (Action.equal trigger (Action.give (Party.trusted "t2") (Party.broker "b") "d"));
+    check "ships to t1" true
+      (Action.equal action (Action.give (Party.broker "b") (Party.trusted "t1") "d"))
+  | steps -> Alcotest.failf "broker script has %d steps" (List.length steps)
+
+let test_observes () =
+  let b = Party.broker "b" and t1 = Party.trusted "t1" and c = Party.consumer "c" in
+  check "target observes" true (Protocol.observes b (Action.give t1 b "d"));
+  check "performer observes" true (Protocol.observes t1 (Action.give t1 b "d"));
+  check "informed observes notify" true
+    (Protocol.observes b (Action.notify ~agent:t1 ~informed:b));
+  check "stranger does not" false (Protocol.observes c (Action.give t1 b "d"))
+
+let test_script_of_absent_party () =
+  check_int "no script, empty list" 0
+    (List.length (Protocol.script_of example1 (Party.consumer "stranger")))
+
+let prop_conditions_observable =
+  QCheck2.Test.make
+    ~name:"every trigger is observable by the party that waits on it" ~count:150 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Workload.Gen.random_transaction rng Workload.Gen.default_mix in
+      match (Trust_core.Feasibility.analyze spec).Trust_core.Feasibility.sequence with
+      | None -> true
+      | Some seq ->
+        let protocol = Protocol.synthesize seq in
+        List.for_all
+          (fun (party, steps) ->
+            List.for_all
+              (fun step ->
+                match step.Protocol.condition with
+                | Protocol.Now -> true
+                | Protocol.Observed trigger ->
+                  Protocol.observes party trigger
+                  && not (Party.equal (Action.performer trigger) party))
+              steps)
+          protocol.Protocol.roles)
+
+let prop_scripts_partition_sequence =
+  QCheck2.Test.make ~name:"scripts partition the execution sequence by performer" ~count:150
+    QCheck2.Gen.int (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Workload.Gen.random_transaction rng Workload.Gen.default_mix in
+      match (Trust_core.Feasibility.analyze spec).Trust_core.Feasibility.sequence with
+      | None -> true
+      | Some seq ->
+        let protocol = Protocol.synthesize seq in
+        let scripted =
+          List.concat_map (fun (_, steps) -> List.map (fun s -> s.Protocol.action) steps)
+            protocol.Protocol.roles
+        in
+        List.length scripted = Execution.message_count seq
+        && List.for_all
+             (fun (party, steps) ->
+               List.for_all
+                 (fun s -> Party.equal (Action.performer s.Protocol.action) party)
+                 steps)
+             protocol.Protocol.roles)
+
+let () =
+  Alcotest.run "protocol"
+    [
+      ( "synthesis",
+        [
+          Alcotest.test_case "roles cover all actors" `Quick test_roles_cover_actors;
+          Alcotest.test_case "producer starts immediately" `Quick test_producer_starts_immediately;
+          Alcotest.test_case "broker waits for notify" `Quick test_broker_waits_for_notify;
+          Alcotest.test_case "broker ships after receipt" `Quick test_broker_ships_after_receiving;
+          Alcotest.test_case "observability" `Quick test_observes;
+          Alcotest.test_case "absent party" `Quick test_script_of_absent_party;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_conditions_observable; prop_scripts_partition_sequence ] );
+    ]

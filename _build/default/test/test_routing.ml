@@ -1,0 +1,245 @@
+(* Trust routing — the §9 hierarchy-of-trust extension: synthesizing
+   intermediaries, personas and relay chains from a trust web. *)
+
+open Exchange
+module Routing = Trust_core.Routing
+module Feasibility = Trust_core.Feasibility
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let alice = Party.consumer "alice"
+let bob = Party.producer "bob"
+let carol = Party.broker "carol"
+let dave = Party.producer "dave"
+let bank = Party.trusted "bank"
+let notary = Party.trusted "notary"
+
+let sale id buyer seller price =
+  Routing.{ id; buyer; seller; price = Asset.dollars price; good = "doc-" ^ id }
+
+let connect_exn ?relays ?markup ~trusts requests =
+  match Routing.connect ?relays ?markup ~trusts requests with
+  | Ok t -> t
+  | Error e -> Alcotest.fail e
+
+let test_common_agent () =
+  let trusts = Routing.mutual alice bank @ Routing.mutual bob bank in
+  let t = connect_exn ~trusts [ sale "s" alice bob 10 ] in
+  (match List.assoc "s" t.Routing.routes with
+  | Routing.Common_agent agent -> check "routed via bank" true (Party.equal agent bank)
+  | _ -> Alcotest.fail "expected a common agent");
+  check "feasible" true (Feasibility.is_feasible t.Routing.spec)
+
+let test_buyer_persona () =
+  (* only the seller trusts the buyer: variant-1 direct trust *)
+  let trusts = [ Routing.{ truster = bob; trustee = alice } ] in
+  let t = connect_exn ~trusts [ sale "s" alice bob 10 ] in
+  check "buyer persona" true (List.assoc "s" t.Routing.routes = Routing.Buyer_persona);
+  let d = List.hd t.Routing.spec.Spec.deals in
+  check "persona is the buyer" true
+    (Spec.persona_of t.Routing.spec d.Spec.via = Some alice);
+  check "feasible" true (Feasibility.is_feasible t.Routing.spec)
+
+let test_seller_persona () =
+  let trusts = [ Routing.{ truster = alice; trustee = bob } ] in
+  let t = connect_exn ~trusts [ sale "s" alice bob 10 ] in
+  check "seller persona" true (List.assoc "s" t.Routing.routes = Routing.Seller_persona);
+  check "feasible" true (Feasibility.is_feasible t.Routing.spec)
+
+let test_agent_preferred_over_persona () =
+  let trusts =
+    Routing.mutual alice bank @ Routing.mutual bob bank
+    @ [ Routing.{ truster = bob; trustee = alice } ]
+  in
+  let t = connect_exn ~trusts [ sale "s" alice bob 10 ] in
+  check "neutral agent wins" true
+    (match List.assoc "s" t.Routing.routes with Routing.Common_agent _ -> true | _ -> false)
+
+let test_relay_chain () =
+  (* alice and bob share nothing; carol bridges the two trust domains *)
+  let trusts =
+    Routing.mutual alice bank @ Routing.mutual carol bank
+    @ Routing.mutual carol notary @ Routing.mutual bob notary
+  in
+  let t = connect_exn ~relays:[ carol ] ~trusts [ sale "s" alice bob 10 ] in
+  (match List.assoc "s" t.Routing.routes with
+  | Routing.Relay [ relay ] -> check "through carol" true (Party.equal relay carol)
+  | _ -> Alcotest.fail "expected a single relay");
+  check_int "two hops" 2 (List.length t.Routing.spec.Spec.deals);
+  (* the relay secures its buyer first *)
+  check_int "one red edge" 1 (List.length t.Routing.spec.Spec.priorities);
+  check "feasible end to end" true (Feasibility.is_feasible t.Routing.spec)
+
+let test_relay_pricing () =
+  let trusts =
+    Routing.mutual alice bank @ Routing.mutual carol bank
+    @ Routing.mutual carol notary @ Routing.mutual bob notary
+  in
+  let t = connect_exn ~relays:[ carol ] ~markup:(Asset.dollars 1) ~trusts [ sale "s" alice bob 10 ] in
+  let price_of id =
+    match Spec.find_deal t.Routing.spec id with
+    | Some d -> Asset.value d.Spec.left_sends
+    | None -> Alcotest.failf "deal %s missing" id
+  in
+  check_int "buyer pays price + markup" (Asset.dollars 11) (price_of "s.hop1");
+  check_int "seller receives base price" (Asset.dollars 10) (price_of "s.hop2")
+
+let test_two_relays () =
+  let erin = Party.broker "erin" in
+  let vault = Party.trusted "vault" in
+  let trusts =
+    Routing.mutual alice bank @ Routing.mutual carol bank
+    @ Routing.mutual carol notary @ Routing.mutual erin notary
+    @ Routing.mutual erin vault @ Routing.mutual bob vault
+  in
+  let t = connect_exn ~relays:[ erin; carol ] ~trusts [ sale "s" alice bob 10 ] in
+  (match List.assoc "s" t.Routing.routes with
+  | Routing.Relay relays -> check_int "two relays" 2 (List.length relays)
+  | _ -> Alcotest.fail "expected relays");
+  check_int "three hops" 3 (List.length t.Routing.spec.Spec.deals);
+  check "feasible" true (Feasibility.is_feasible t.Routing.spec)
+
+let test_unroutable () =
+  match Routing.connect ~trusts:[] [ sale "s" alice bob 10 ] with
+  | Error message -> check "names the request" true (String.length message > 0)
+  | Ok _ -> Alcotest.fail "no trust at all must fail"
+
+let test_multiple_requests_share_agents () =
+  (* An agent trusted by more than two parties (§9, sentence 1): the
+     paper's own two rules cannot sequence a bundle whose pieces all
+     flow through one agent, but the shared-agent extension (Rule #3)
+     recognises that the agent enforces the conjunction itself. *)
+  let trusts =
+    Routing.mutual alice bank @ Routing.mutual bob bank @ Routing.mutual dave bank
+  in
+  let t = connect_exn ~trusts [ sale "a" alice bob 10; sale "b" alice dave 20 ] in
+  Alcotest.(check (list string)) "one shared agent" [ "bank" ]
+    (List.map Party.name (Spec.trusted_agents t.Routing.spec));
+  check "paper rules: stuck" false (Feasibility.is_feasible t.Routing.spec);
+  check "shared-agent rule: feasible" true (Feasibility.is_feasible ~shared:true t.Routing.spec)
+
+let test_shared_agent_runs_atomically () =
+  (* The runtime counterpart: the shared agent forwards nothing until
+     every deal is in, so a defecting seller cannot strand the buyer
+     with half the bundle. *)
+  let trusts =
+    Routing.mutual alice bank @ Routing.mutual bob bank @ Routing.mutual dave bank
+  in
+  let t = connect_exn ~trusts [ sale "a" alice bob 10; sale "b" alice dave 20 ] in
+  let spec = t.Routing.spec in
+  (match Trust_sim.Harness.honest_run ~shared:true spec with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    check "honest run preferred" true
+      (Trust_sim.Audit.audit spec result).Trust_sim.Audit.all_preferred);
+  List.iter
+    (fun defector ->
+      match
+        Trust_sim.Harness.adversarial_run ~shared:true
+          ~defectors:[ (defector, Trust_sim.Harness.Silent) ]
+          spec
+      with
+      | Error e -> Alcotest.fail e
+      | Ok result ->
+        let report = Trust_sim.Audit.audit spec ~defectors:[ defector ] result in
+        check "honest acceptable under defection" true report.Trust_sim.Audit.honest_all_acceptable)
+    (Trust_sim.Harness.defectable_principals spec)
+
+let test_relay_avoidance () =
+  (* two requests through the same bridge would give one broker two red
+     edges (the poor-broker impasse); with a second bridge available the
+     router spreads them and the batch stays feasible *)
+  let dora = Party.broker "dora" in
+  let trusts =
+    Routing.mutual alice bank
+    @ Routing.mutual carol bank @ Routing.mutual carol notary
+    @ Routing.mutual dora bank @ Routing.mutual dora notary
+    @ Routing.mutual bob notary @ Routing.mutual dave notary
+  in
+  let t =
+    connect_exn ~relays:[ carol; dora ] ~trusts [ sale "x" alice bob 10; sale "y" alice dave 20 ]
+  in
+  let relay_of id =
+    match List.assoc id t.Routing.routes with
+    | Routing.Relay [ r ] -> r
+    | _ -> Alcotest.fail "expected single relays"
+  in
+  check "distinct relays" false (Party.equal (relay_of "x") (relay_of "y"));
+  (* alice's cross-chain bundle transfers completion risk to the bridge
+     brokers, so it stays infeasible even under the extended rules - the
+     par-6 indemnity is what absorbs that risk, and with the granular
+     (par-9) reading of the shared agents the rescue succeeds *)
+  check "bare: infeasible" false (Feasibility.is_feasible t.Routing.spec);
+  check "extended rules alone: still infeasible" false
+    (Feasibility.is_feasible ~shared:true t.Routing.spec);
+  match Feasibility.rescue_with_indemnities ~shared:true t.Routing.spec with
+  | Some rescue ->
+    check "indemnities rescue the batch" true
+      (Trust_core.Reduce.feasible rescue.Feasibility.analysis.Feasibility.outcome)
+  | None -> Alcotest.fail "expected an indemnity rescue"
+
+let test_routed_specs_run () =
+  (* routed transactions execute and audit clean *)
+  let trusts =
+    Routing.mutual alice bank @ Routing.mutual carol bank
+    @ Routing.mutual carol notary @ Routing.mutual bob notary
+  in
+  let t = connect_exn ~relays:[ carol ] ~trusts [ sale "s" alice bob 10 ] in
+  match Trust_sim.Harness.honest_run t.Routing.spec with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    let report = Trust_sim.Audit.audit t.Routing.spec result in
+    check "all preferred" true report.Trust_sim.Audit.all_preferred
+
+let prop_routed_always_analyzable =
+  QCheck2.Test.make ~name:"routing output always validates and analyzes" ~count:100
+    QCheck2.Gen.int (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      (* random small trust webs over a fixed cast *)
+      let principals = [ alice; bob; carol; dave ] in
+      let agents = [ bank; notary ] in
+      let trusts =
+        List.concat_map
+          (fun p ->
+            List.filter_map
+              (fun q ->
+                if Workload.Prng.float rng < 0.4 then
+                  Some Routing.{ truster = p; trustee = q }
+                else None)
+              (agents @ principals))
+          principals
+      in
+      match Routing.connect ~relays:[ carol ] ~trusts [ sale "s" alice bob 10 ] with
+      | Error _ -> true
+      | Ok t ->
+        Spec.validate t.Routing.spec = Ok ()
+        && (ignore (Feasibility.analyze t.Routing.spec);
+            true))
+
+let () =
+  Alcotest.run "routing"
+    [
+      ( "direct links",
+        [
+          Alcotest.test_case "common agent" `Quick test_common_agent;
+          Alcotest.test_case "buyer persona" `Quick test_buyer_persona;
+          Alcotest.test_case "seller persona" `Quick test_seller_persona;
+          Alcotest.test_case "agent preferred over persona" `Quick
+            test_agent_preferred_over_persona;
+        ] );
+      ( "relays",
+        [
+          Alcotest.test_case "single relay chain" `Quick test_relay_chain;
+          Alcotest.test_case "relay pricing" `Quick test_relay_pricing;
+          Alcotest.test_case "two relays" `Quick test_two_relays;
+          Alcotest.test_case "unroutable" `Quick test_unroutable;
+          Alcotest.test_case "shared agent across requests" `Quick
+            test_multiple_requests_share_agents;
+          Alcotest.test_case "shared agent runs atomically" `Quick
+            test_shared_agent_runs_atomically;
+          Alcotest.test_case "relay avoidance across a batch" `Quick test_relay_avoidance;
+          Alcotest.test_case "routed specs run" `Quick test_routed_specs_run;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_routed_always_analyzable ]);
+    ]

@@ -1,0 +1,150 @@
+(* The §2.3 state formalism: the four acceptable outcomes of the simple
+   customer/producer sale, exactly as the paper enumerates them. *)
+
+open Exchange
+module Pattern = Action.Pattern
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let c = Party.consumer "c"
+let p = Party.producer "p"
+let m = Asset.dollars 10
+
+let pay_action = Action.pay c p m
+let give_action = Action.give p c "d"
+
+(* The customer's §2.3 acceptability: exchange done, refund, status quo,
+   or free goods. *)
+let customer_acceptability =
+  let describe patterns = State.describes patterns in
+  let exchange = describe [ Pattern.of_action give_action; Pattern.of_action pay_action ] in
+  State.
+    {
+      descriptions =
+        [
+          exchange;
+          describe [ Pattern.of_action pay_action; Pattern.of_action (Action.undo pay_action) ];
+          describe [];
+          describe [ Pattern.of_action give_action ];
+        ];
+      preferred = exchange;
+    }
+
+let test_empty_state () =
+  check_int "empty" 0 (State.cardinal State.empty);
+  check "nothing recorded" false (State.mem pay_action State.empty)
+
+let test_set_semantics () =
+  let s = State.of_actions [ pay_action; pay_action; give_action ] in
+  check_int "duplicates collapse" 2 (State.cardinal s);
+  check "mem pay" true (State.mem pay_action s)
+
+let test_union_subset () =
+  let a = State.of_actions [ pay_action ] in
+  let b = State.of_actions [ give_action ] in
+  let u = State.union a b in
+  check "a subset u" true (State.subset a u);
+  check "u not subset a" false (State.subset u a);
+  check_int "union size" 2 (State.cardinal u)
+
+let test_performed_by () =
+  let s = State.of_actions [ pay_action; give_action; Action.undo pay_action ] in
+  (* c performs the pay; p performs the give; the undo of c's payment is
+     performed by its holder p. *)
+  check_int "c's actions" 1 (List.length (State.performed_by c s));
+  check_int "p's actions" 2 (List.length (State.performed_by p s))
+
+let test_net_assets () =
+  let s = State.of_actions [ pay_action; give_action ] in
+  let gained, lost = State.net_assets c s in
+  check "c gained doc" true (Asset.Bag.holds (Asset.document "d") gained);
+  check_int "c lost $10" m (Asset.Bag.balance lost);
+  let gained_p, lost_p = State.net_assets p s in
+  check_int "p gained $10" m (Asset.Bag.balance gained_p);
+  check "p lost doc" true (Asset.Bag.holds (Asset.document "d") lost_p)
+
+let test_net_assets_undo () =
+  let s = State.of_actions [ pay_action; Action.undo pay_action ] in
+  let gained, lost = State.net_assets c s in
+  check_int "refund returns" m (Asset.Bag.balance gained);
+  check_int "payment left" m (Asset.Bag.balance lost)
+
+(* The four §2.3 outcomes. *)
+
+let acceptable state = State.acceptable customer_acceptability ~party:c state
+
+let test_status_quo_acceptable () = check "{} acceptable" true (acceptable State.empty)
+
+let test_exchange_acceptable () =
+  check "complete exchange" true (acceptable (State.of_actions [ pay_action; give_action ]))
+
+let test_refund_acceptable () =
+  check "refund" true (acceptable (State.of_actions [ pay_action; Action.undo pay_action ]))
+
+let test_windfall_acceptable () =
+  check "free document" true (acceptable (State.of_actions [ give_action ]))
+
+let test_loss_unacceptable () =
+  check "paid, no document" false (acceptable (State.of_actions [ pay_action ]))
+
+let test_own_action_constraint () =
+  (* The state contains a superset of the windfall description, but the
+     customer also paid — §2.3's "does not contain another action by
+     that party" must reject matching via the windfall description while
+     the exchange description still accepts it. *)
+  let extra_pay = Action.pay c p (Asset.dollars 99) in
+  let s = State.of_actions [ give_action; extra_pay ] in
+  check "unmatched own action rejects" false (acceptable s)
+
+let test_preferred () =
+  check "preferred reached" true
+    (State.preferred_reached customer_acceptability (State.of_actions [ pay_action; give_action ]));
+  check "refund is not preferred" false
+    (State.preferred_reached customer_acceptability
+       (State.of_actions [ pay_action; Action.undo pay_action ]))
+
+let test_permits () =
+  (* A description's permits tolerate extra own actions without
+     requiring them. *)
+  let desc =
+    State.
+      {
+        requires = [ Pattern.of_action give_action ];
+        permits = [ Pattern.P_do (Pattern.Exactly c, Pattern.Any_party, Pattern.Any_asset) ];
+      }
+  in
+  let spec = State.{ descriptions = [ desc ]; preferred = desc } in
+  let s = State.of_actions [ give_action; Action.pay c p 123 ] in
+  check "permitted extra" true (State.acceptable spec ~party:c s)
+
+let test_always_acceptable () =
+  let s = State.of_actions [ pay_action; give_action; Action.undo pay_action ] in
+  check "anything goes" true (State.acceptable State.always_acceptable ~party:c s);
+  check "empty too" true (State.acceptable State.always_acceptable ~party:c State.empty)
+
+let () =
+  Alcotest.run "state"
+    [
+      ( "states",
+        [
+          Alcotest.test_case "empty" `Quick test_empty_state;
+          Alcotest.test_case "states are sets" `Quick test_set_semantics;
+          Alcotest.test_case "union and subset" `Quick test_union_subset;
+          Alcotest.test_case "performed_by" `Quick test_performed_by;
+          Alcotest.test_case "net assets" `Quick test_net_assets;
+          Alcotest.test_case "net assets through undo" `Quick test_net_assets_undo;
+        ] );
+      ( "acceptability (paper 2.3)",
+        [
+          Alcotest.test_case "status quo" `Quick test_status_quo_acceptable;
+          Alcotest.test_case "completed exchange" `Quick test_exchange_acceptable;
+          Alcotest.test_case "refund" `Quick test_refund_acceptable;
+          Alcotest.test_case "windfall" `Quick test_windfall_acceptable;
+          Alcotest.test_case "loss rejected" `Quick test_loss_unacceptable;
+          Alcotest.test_case "own-action constraint" `Quick test_own_action_constraint;
+          Alcotest.test_case "preferred outcome" `Quick test_preferred;
+          Alcotest.test_case "permits" `Quick test_permits;
+          Alcotest.test_case "always_acceptable" `Quick test_always_acceptable;
+        ] );
+    ]

@@ -1,0 +1,51 @@
+module Table = Report.Table
+
+let check = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains haystack needle =
+  let lh = String.length haystack and ln = String.length needle in
+  let rec scan i = i + ln <= lh && (String.sub haystack i ln = needle || scan (i + 1)) in
+  ln = 0 || scan 0
+
+let test_render_basic () =
+  let out = Table.render ~header:[ "name"; "value" ] [ [ "alpha"; "1" ]; [ "b"; "22" ] ] in
+  check "header present" true (contains out "name");
+  check "rule present" true (contains out "|------");
+  (* numeric cells right-aligned: "22" should be preceded by spaces *)
+  check "numeric right aligned" true (contains out "|    22 |")
+
+let test_render_pads_short_rows () =
+  let out = Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  check "padded" true (contains out "| x");
+  (* all rows have the same width *)
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' out) in
+  let widths = List.map String.length lines in
+  check "uniform width" true (List.for_all (( = ) (List.hd widths)) widths)
+
+let test_text_left_aligned () =
+  let out = Table.render ~header:[ "k" ] [ [ "ab" ]; [ "longer" ] ] in
+  check "left aligned text" true (contains out "| ab     |")
+
+let test_kv () =
+  let out = Table.kv [ ("key", "v"); ("longer key", "w") ] in
+  check "aligned colons" true (contains out "key        : v");
+  check "second" true (contains out "longer key : w")
+
+let test_money () =
+  check_str "whole" "$70" (Table.money 7000);
+  check_str "cents" "$1.50" (Table.money 150);
+  check_str "zero" "$0" (Table.money 0)
+
+let () =
+  Alcotest.run "table"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "basic table" `Quick test_render_basic;
+          Alcotest.test_case "short rows padded" `Quick test_render_pads_short_rows;
+          Alcotest.test_case "text left aligned" `Quick test_text_left_aligned;
+          Alcotest.test_case "kv block" `Quick test_kv;
+          Alcotest.test_case "money" `Quick test_money;
+        ] );
+    ]

@@ -1,0 +1,158 @@
+(* Exposure analysis over simulation traces (the quantitative side of
+   §8's cost-of-mistrust discussion). *)
+
+open Exchange
+module Trace = Trust_sim.Trace
+module Engine = Trust_sim.Engine
+module Harness = Trust_sim.Harness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let honest_trace spec =
+  match Harness.honest_run spec with
+  | Ok result -> Trace.of_result spec result
+  | Error e -> Alcotest.fail e
+
+let example1 = Workload.Scenarios.example1
+let trace1 = lazy (honest_trace example1)
+
+let b = Party.broker "b"
+let p = Party.producer "p"
+let c = Party.consumer "c"
+
+let test_local_views () =
+  let trace = Lazy.force trace1 in
+  (* the producer sees its deposit, the notify is not for it, then the
+     forwarded payment: 2 deliveries *)
+  check_int "producer sees two" 2 (List.length (Trace.view_of trace p));
+  (* the broker sees both notifies, its two sends, two receipts *)
+  check_int "broker sees six" 6 (List.length (Trace.view_of trace b));
+  check_int "consumer sees two" 2 (List.length (Trace.view_of trace c))
+
+let test_performed_by () =
+  let trace = Lazy.force trace1 in
+  check_int "broker performs two" 2 (List.length (Trace.performed_by trace b));
+  check_int "producer performs one" 1 (List.length (Trace.performed_by trace p))
+
+let test_duration () =
+  check "positive duration" true (Trace.duration (Lazy.force trace1) > 0)
+
+let test_profile_monotone_ticks () =
+  let trace = Lazy.force trace1 in
+  List.iter
+    (fun party ->
+      let profile = Trace.exposure_profile trace party in
+      let rec ascending = function
+        | a :: (b : Trace.exposure) :: rest -> a.Trace.at < b.Trace.at && ascending (b :: rest)
+        | _ -> true
+      in
+      check (Party.to_string party ^ " ticks ascend") true (ascending profile))
+    (Spec.parties example1)
+
+let test_consumer_exposure_shape () =
+  let trace = Lazy.force trace1 in
+  (* the consumer pays $10 at t=1 and is covered when the document
+     (priced at $10 to it) arrives *)
+  check_int "peak is the price" (Asset.dollars 10) (Trace.peak_exposure trace c);
+  let final = List.nth (Trace.exposure_profile trace c) (List.length (Trace.exposure_profile trace c) - 1) in
+  check "covered at the end" true (final.Trace.covered >= final.Trace.outlay)
+
+let test_producer_exposure_shape () =
+  let trace = Lazy.force trace1 in
+  (* the producer ships a document it sells for $8; covered when paid *)
+  check_int "peak is its sale price" (Asset.dollars 8) (Trace.peak_exposure trace p);
+  let profile = Trace.exposure_profile trace p in
+  check "goods out at some point" true
+    (List.exists (fun s -> s.Trace.goods_out = 1) profile);
+  let final = List.nth profile (List.length profile - 1) in
+  check_int "goods delivered for good" 1 final.Trace.goods_out
+
+let test_honest_runs_end_covered () =
+  (* at the end of an honest run, no principal is uncovered *)
+  List.iter
+    (fun (name, spec) ->
+      match Harness.honest_run spec with
+      | Error _ -> ()
+      | Ok result ->
+        let trace = Trace.of_result spec result in
+        List.iter
+          (fun party ->
+            match List.rev (Trace.exposure_profile trace party) with
+            | [] -> ()
+            | final :: _ ->
+              if final.Trace.outlay - final.Trace.covered > 0 then
+                Alcotest.failf "%s: %s ends uncovered" name (Party.to_string party))
+          (Spec.principals spec))
+    Workload.Scenarios.all
+
+let test_direct_trust_lowers_duration_not_exposure () =
+  (* §8: direct trust halves the messages; exposure moves from the
+     escrow's custody onto the trusting parties *)
+  let mediated = honest_trace example1 in
+  let direct_spec = Trust_core.Cost.with_all_direct_trust example1 in
+  let direct = honest_trace direct_spec in
+  check "fewer deliveries" true
+    (List.length (Trace.log direct) < List.length (Trace.log mediated));
+  check "total exposure still bounded by prices" true
+    (Trace.total_peak_exposure direct <= Asset.dollars 36)
+
+let test_defector_leaves_honest_covered () =
+  (* c defects on fig7+plan: every honest principal ends covered *)
+  let fig7 = Workload.Scenarios.fig7 in
+  let plan = Trust_core.Indemnity.plan_greedy fig7 ~owner:Workload.Scenarios.fig7_consumer in
+  match
+    Harness.adversarial_run ~plan
+      ~defectors:[ (Party.broker "b2", Harness.Partial 2) ]
+      fig7
+  with
+  | Error e -> Alcotest.fail e
+  | Ok result ->
+    let trace = Trace.of_result fig7 result in
+    List.iter
+      (fun party ->
+        if not (Party.equal party (Party.broker "b2")) then
+          match List.rev (Trace.exposure_profile trace party) with
+          | [] -> ()
+          | final :: _ ->
+            if final.Trace.outlay - final.Trace.covered > 0 then
+              Alcotest.failf "%s ends uncovered" (Party.to_string party))
+      (Spec.principals fig7)
+
+let prop_final_coverage_on_honest_runs =
+  QCheck2.Test.make ~name:"honest generated runs end with every principal covered" ~count:60
+    QCheck2.Gen.int (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Workload.Gen.random_transaction rng Workload.Gen.default_mix in
+      match Harness.honest_run spec with
+      | Error _ -> true
+      | Ok result ->
+        let trace = Trace.of_result spec result in
+        List.for_all
+          (fun party ->
+            match List.rev (Trace.exposure_profile trace party) with
+            | [] -> true
+            | final :: _ -> final.Trace.outlay <= final.Trace.covered)
+          (Spec.principals spec))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "views",
+        [
+          Alcotest.test_case "local views" `Quick test_local_views;
+          Alcotest.test_case "performed_by" `Quick test_performed_by;
+          Alcotest.test_case "duration" `Quick test_duration;
+        ] );
+      ( "exposure",
+        [
+          Alcotest.test_case "ticks ascend" `Quick test_profile_monotone_ticks;
+          Alcotest.test_case "consumer shape" `Quick test_consumer_exposure_shape;
+          Alcotest.test_case "producer shape" `Quick test_producer_exposure_shape;
+          Alcotest.test_case "honest runs end covered" `Quick test_honest_runs_end_covered;
+          Alcotest.test_case "direct trust" `Quick test_direct_trust_lowers_duration_not_exposure;
+          Alcotest.test_case "honest covered despite defector" `Quick
+            test_defector_leaves_honest_covered;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_final_coverage_on_honest_runs ]);
+    ]

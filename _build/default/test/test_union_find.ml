@@ -1,0 +1,65 @@
+module Union_find = Trust_graph.Union_find
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_singletons () =
+  let uf = Union_find.create 5 in
+  check_int "five sets" 5 (Union_find.count_sets uf);
+  check "distinct" false (Union_find.equivalent uf 0 1);
+  check "self" true (Union_find.equivalent uf 3 3)
+
+let test_union () =
+  let uf = Union_find.create 5 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 2;
+  check "transitive" true (Union_find.equivalent uf 0 2);
+  check "separate" false (Union_find.equivalent uf 0 3);
+  check_int "three sets" 3 (Union_find.count_sets uf)
+
+let test_union_idempotent () =
+  let uf = Union_find.create 3 in
+  Union_find.union uf 0 1;
+  Union_find.union uf 0 1;
+  Union_find.union uf 1 0;
+  check_int "two sets" 2 (Union_find.count_sets uf)
+
+let test_set_of () =
+  let uf = Union_find.create 6 in
+  Union_find.union uf 1 3;
+  Union_find.union uf 3 5;
+  Alcotest.(check (list int)) "members ascending" [ 1; 3; 5 ] (Union_find.set_of uf 3);
+  Alcotest.(check (list int)) "singleton" [ 0 ] (Union_find.set_of uf 0)
+
+let prop_equivalence =
+  QCheck2.Test.make ~name:"union builds an equivalence relation" ~count:200
+    QCheck2.Gen.(
+      let* n = int_range 2 20 in
+      let* ops = list_size (int_range 0 40) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1))) in
+      return (n, ops))
+    (fun (n, ops) ->
+      let uf = Union_find.create n in
+      List.iter (fun (a, b) -> Union_find.union uf a b) ops;
+      (* symmetric and transitive via representative equality *)
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if Union_find.equivalent uf a b <> Union_find.equivalent uf b a then ok := false
+        done
+      done;
+      (* count_sets equals number of distinct representatives *)
+      let reps = List.sort_uniq compare (List.init n (Union_find.find uf)) in
+      !ok && List.length reps = Union_find.count_sets uf)
+
+let () =
+  Alcotest.run "union_find"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "singletons" `Quick test_singletons;
+          Alcotest.test_case "union and transitivity" `Quick test_union;
+          Alcotest.test_case "idempotent unions" `Quick test_union_idempotent;
+          Alcotest.test_case "set_of lists members" `Quick test_set_of;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_equivalence ]);
+    ]

@@ -1,0 +1,120 @@
+(* §8's universal trusted intermediary, executed: "if a single trusted
+   intermediary may be used for the entire system in any exchange
+   between two principals, then any exchange becomes feasible, without
+   indemnities". *)
+
+open Exchange
+module Harness = Trust_sim.Harness
+module Engine = Trust_sim.Engine
+module Audit = Trust_sim.Audit
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let universal ?defectors spec = Harness.universal_run ?defectors spec
+
+let test_example2_completes () =
+  (* infeasible with local agents (E3); the universal coordinator runs it *)
+  let spec = Workload.Scenarios.example2 in
+  check "locally infeasible" false (Trust_core.Feasibility.is_feasible spec);
+  let result, uni = universal spec in
+  let report = Audit.audit uni result in
+  check "universal run completes" true report.Audit.all_preferred;
+  check "conserved" true report.Audit.conserved;
+  check_int "no stalls" 0 (List.length result.Engine.stalled)
+
+let test_fig7_completes () =
+  let result, uni = universal Workload.Scenarios.fig7 in
+  check "fig7 completes without indemnities" true (Audit.audit uni result).Audit.all_preferred
+
+let test_poor_broker_completes () =
+  (* even the poor broker: the coordinator nets the payments internally,
+     so the broker's missing float no longer matters once its sale is in *)
+  let result, uni = universal Workload.Scenarios.example1_poor_broker in
+  check "completes" true (Audit.audit uni result).Audit.all_preferred
+
+let test_message_count_matches_tally () =
+  (* the §8 cost model: two messages per commitment *)
+  let spec = Workload.Scenarios.example2 in
+  let result, _ = universal spec in
+  let expected = (Trust_core.Cost.universal_tally spec).Trust_core.Cost.total in
+  check_int "deliveries match the tally" expected (List.length result.Engine.log)
+
+let test_nothing_moves_until_ready () =
+  (* with a silent producer, every deposit is eventually refunded and
+     nothing was ever forwarded *)
+  let spec = Workload.Scenarios.example2 in
+  let s1 = Party.producer "s1" in
+  let result, uni = universal ~defectors:[ (s1, Harness.Silent) ] spec in
+  let report = Audit.audit uni ~defectors:[ s1 ] result in
+  check "honest acceptable" true report.Audit.honest_all_acceptable;
+  check "no forwards happened" true
+    (List.for_all
+       (fun d ->
+         match d.Engine.action with
+         | Action.Do tr -> not (Party.is_trusted tr.Action.source)
+         | Action.Undo _ -> true
+         | Action.Notify _ -> false)
+       result.Engine.log)
+
+let test_defecting_broker_after_launch () =
+  (* a broker that deposits its money but absconds with the forwarded
+     document: it paid full price for it, so nobody else is hurt *)
+  let spec = Workload.Scenarios.example2 in
+  let b1 = Party.broker "b1" in
+  (* Partial 1 performs only the money deposit, never the re-deposit *)
+  let result, uni = universal ~defectors:[ (b1, Harness.Partial 1) ] spec in
+  let report = Audit.audit uni ~defectors:[ b1 ] result in
+  check "honest parties whole" true report.Audit.honest_no_loss;
+  check "conserved" true report.Audit.conserved
+
+let test_sweep_all_scenarios () =
+  (* every paper scenario — including every locally infeasible one —
+     completes under the universal coordinator *)
+  List.iter
+    (fun (name, spec) ->
+      let result, uni = universal spec in
+      let report = Audit.audit uni result in
+      if not report.Audit.all_preferred then
+        Alcotest.failf "%s: universal run did not complete" name)
+    Workload.Scenarios.all
+
+let prop_universal_always_completes =
+  QCheck2.Test.make ~name:"generated transactions always complete universally" ~count:80
+    QCheck2.Gen.int (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Workload.Gen.random_transaction rng Workload.Gen.default_mix in
+      let result, uni = universal spec in
+      (Audit.audit uni result).Audit.all_preferred)
+
+let prop_universal_single_defector_safe =
+  QCheck2.Test.make ~name:"universal runs keep honest parties whole under defection"
+    ~count:60 QCheck2.Gen.int (fun seed ->
+      let rng = Workload.Prng.create (Int64.of_int seed) in
+      let spec = Workload.Gen.random_transaction rng Workload.Gen.default_mix in
+      match Spec.principals spec with
+      | [] -> true
+      | defector :: _ ->
+        let result, uni = universal ~defectors:[ (defector, Harness.Silent) ] spec in
+        (Audit.audit uni ~defectors:[ defector ] result).Audit.honest_no_loss)
+
+let () =
+  Alcotest.run "universal"
+    [
+      ( "completion (para 8)",
+        [
+          Alcotest.test_case "example 2 completes" `Quick test_example2_completes;
+          Alcotest.test_case "fig7 completes" `Quick test_fig7_completes;
+          Alcotest.test_case "poor broker completes" `Quick test_poor_broker_completes;
+          Alcotest.test_case "message count" `Quick test_message_count_matches_tally;
+          Alcotest.test_case "all scenarios" `Quick test_sweep_all_scenarios;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "nothing moves until ready" `Quick test_nothing_moves_until_ready;
+          Alcotest.test_case "post-launch defection" `Quick test_defecting_broker_after_launch;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_universal_always_completes; prop_universal_single_defector_safe ] );
+    ]

@@ -1,0 +1,162 @@
+(* Web programs in the DSL: trust edges, relays, requests — the §9
+   surface syntax — and their round trip through routing. *)
+
+open Exchange
+module Elaborate = Trust_lang.Elaborate
+module Routing = Trust_core.Routing
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let minimal_web =
+  {|principal alice : consumer
+    principal bob : producer
+    trusted bank
+
+    trust alice -> bank
+    trust bob -> bank
+
+    request x: alice buys "essay" from bob for $10|}
+
+let web_ok src =
+  match Elaborate.web_from_string src with
+  | Ok w -> w
+  | Error e -> Alcotest.fail e
+
+let web_err src =
+  match Elaborate.web_from_string src with
+  | Ok _ -> Alcotest.failf "elaborating %S should fail" src
+  | Error e -> e
+
+let test_minimal_web () =
+  let w = web_ok minimal_web in
+  check_int "two trust edges" 2 (List.length w.Elaborate.trusts);
+  check_int "no relays" 0 (List.length w.Elaborate.relays);
+  match w.Elaborate.requests with
+  | [ (id, buyer, good, seller, price) ] ->
+    check "id" true (id = "x");
+    check "buyer" true (Party.equal buyer (Party.consumer "alice"));
+    check "seller" true (Party.equal seller (Party.producer "bob"));
+    check "good" true (good = "essay");
+    check_int "price" (Asset.dollars 10) price
+  | _ -> Alcotest.fail "one request expected"
+
+let test_is_web () =
+  (match Trust_lang.Parser.parse minimal_web with
+  | Ok ast -> check "web detected" true (Elaborate.is_web ast)
+  | Error _ -> Alcotest.fail "parses");
+  match Trust_lang.Parser.parse "trusted t" with
+  | Ok ast -> check "plain program" false (Elaborate.is_web ast)
+  | Error _ -> Alcotest.fail "parses"
+
+let test_web_rejects_deals () =
+  let e =
+    web_err
+      {|principal a : consumer
+        principal b : producer
+        trusted t
+        deal d: a pays $1; b gives "x"; via t
+        request r: a buys "x" from b for $1|}
+  in
+  check "deal rejected" true (String.length e > 0)
+
+let test_web_rejects_trusted_truster () =
+  let e =
+    web_err
+      {|principal a : consumer
+        principal b : producer
+        trusted t
+        trust t -> a
+        request r: a buys "x" from b for $1|}
+  in
+  check "trusted truster rejected" true (String.length e > 0)
+
+let test_web_duplicate_request () =
+  let e =
+    web_err
+      (minimal_web ^ "\nrequest x: alice buys \"again\" from bob for $5")
+  in
+  check "duplicate id" true (String.length e > 0)
+
+let test_plain_program_rejects_web_decls () =
+  match Trust_lang.Elaborate.from_string minimal_web with
+  | Error e -> check "exchange elaboration refuses requests" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "must fail"
+
+let test_requests_need_declared_parties () =
+  let e = web_err {|request x: ghost buys "d" from phantom for $1|} in
+  check "undeclared" true (String.length e > 0)
+
+let route w =
+  let trusts =
+    List.map (fun (a, b) -> Routing.{ truster = a; trustee = b }) w.Elaborate.trusts
+  in
+  let requests =
+    List.map
+      (fun (id, buyer, good, seller, price) -> Routing.{ id; buyer; seller; price; good })
+      w.Elaborate.requests
+  in
+  Routing.connect ~relays:w.Elaborate.relays ~trusts requests
+
+let test_route_minimal () =
+  match route (web_ok minimal_web) with
+  | Ok routed ->
+    check "common agent" true
+      (match List.assoc "x" routed.Routing.routes with
+      | Routing.Common_agent _ -> true
+      | _ -> false);
+    check "feasible" true (Trust_core.Feasibility.is_feasible routed.Routing.spec)
+  | Error e -> Alcotest.fail e
+
+let test_route_specs_file () =
+  (* the shipped specs/trustweb.exg routes, needs indemnities, and runs *)
+  match Elaborate.web_from_file "../../../specs/trustweb.exg" with
+  | Error _ -> () (* path differs under some runners; covered by the CLI *)
+  | Ok w -> (
+    match route w with
+    | Error e -> Alcotest.fail e
+    | Ok routed ->
+      check_int "four hops" 4 (List.length routed.Routing.spec.Spec.deals);
+      check "rescuable" true
+        (Trust_core.Feasibility.rescue_with_indemnities ~shared:true routed.Routing.spec <> None))
+
+let test_web_roundtrip () =
+  let w = web_ok minimal_web in
+  let printed = Trust_lang.Printer.web_to_string w in
+  let w' = web_ok printed in
+  check "trusts preserved" true (w.Elaborate.trusts = w'.Elaborate.trusts);
+  check "requests preserved" true (w.Elaborate.requests = w'.Elaborate.requests)
+
+let test_web_roundtrip_with_relays () =
+  let src =
+    minimal_web
+    ^ {|
+       principal carol : broker
+       relay carol|}
+  in
+  let w = web_ok src in
+  let w' = web_ok (Trust_lang.Printer.web_to_string w) in
+  check "relays preserved" true (w.Elaborate.relays = w'.Elaborate.relays)
+
+let () =
+  Alcotest.run "web"
+    [
+      ( "elaboration",
+        [
+          Alcotest.test_case "minimal web" `Quick test_minimal_web;
+          Alcotest.test_case "web detection" `Quick test_is_web;
+          Alcotest.test_case "deals rejected" `Quick test_web_rejects_deals;
+          Alcotest.test_case "trusted truster rejected" `Quick test_web_rejects_trusted_truster;
+          Alcotest.test_case "duplicate request" `Quick test_web_duplicate_request;
+          Alcotest.test_case "plain program refuses web decls" `Quick
+            test_plain_program_rejects_web_decls;
+          Alcotest.test_case "undeclared parties" `Quick test_requests_need_declared_parties;
+        ] );
+      ( "routing and round trips",
+        [
+          Alcotest.test_case "minimal route" `Quick test_route_minimal;
+          Alcotest.test_case "shipped web file" `Quick test_route_specs_file;
+          Alcotest.test_case "round trip" `Quick test_web_roundtrip;
+          Alcotest.test_case "round trip with relays" `Quick test_web_roundtrip_with_relays;
+        ] );
+    ]
