@@ -7,6 +7,8 @@
      main.exe --table E6      run one experiment
      main.exe --bechamel      only the timing benches
      main.exe --quick         smaller sweeps (CI-friendly)
+     main.exe --serve-json    serve-layer throughput benchmark, JSON on stdout
+                              (the BENCH_serve.json baseline)
 *)
 
 open Exchange
@@ -608,6 +610,30 @@ let bechamel_benches () =
   in
   Table.print ~header:[ "bench"; "ns/run" ] rows
 
+(* Serve-layer throughput: how fast the concurrent exchange service
+   (protocol cache + batch scheduler) pushes a generated workload
+   through synthesis and simulation. Emits one JSON object so CI and
+   later PRs can track sessions/sec and the cache hit rate; the
+   committed baseline lives in BENCH_serve.json. *)
+
+let serve_json () =
+  let module Service = Trust_serve.Service in
+  let sessions = if !quick then 200 else 1000 in
+  let config = { Service.default with Service.sessions; seed = 42L } in
+  (* warm once so the measured run prices a hot allocator, then measure *)
+  ignore (Service.run config);
+  let outcome = Service.run config in
+  let t = Service.tally outcome.Service.sessions in
+  let wall = outcome.Service.wall_seconds in
+  let per_sec = if wall > 0. then float_of_int sessions /. wall else 0. in
+  Printf.printf
+    "{\"bench\":\"serve_throughput\",\"sessions\":%d,\"seed\":42,\"wall_seconds\":%.4f,\"sessions_per_sec\":%.1f,\"cache_hit_rate\":%.4f,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"makespan_ticks\":%d,\"concurrency\":%d}\n"
+    sessions wall per_sec
+    (Trust_serve.Cache.hit_rate outcome.Service.cache)
+    t.Service.settled t.Service.expired t.Service.aborted
+    outcome.Service.stats.Trust_serve.Scheduler.makespan
+    outcome.Service.config.Service.concurrency
+
 (* driver *)
 
 let experiments =
@@ -629,6 +655,10 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--quick" args then quick := true;
+  if List.mem "--serve-json" args then begin
+    serve_json ();
+    exit 0
+  end;
   let table =
     let rec find = function
       | "--table" :: id :: _ -> Some id

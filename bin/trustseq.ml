@@ -378,6 +378,109 @@ let route_cmd =
           brokers and requests (section 9).")
     Term.(const run $ file_arg $ simulate)
 
+(* batch *)
+
+let batch_cmd =
+  let run sessions seed concurrency mode density drop_rate defect_every no_rescue verify json =
+    let module Service = Trust_serve.Service in
+    if sessions < 0 then (
+      prerr_endline "trustseq: --sessions must be non-negative";
+      exit 2);
+    if concurrency < 1 then (
+      prerr_endline "trustseq: --concurrency must be at least 1";
+      exit 2);
+    if drop_rate < 0. || drop_rate > 1. then (
+      prerr_endline "trustseq: --drop-rate must lie in [0, 1]";
+      exit 2);
+    (match defect_every with
+    | Some n when n < 1 ->
+      prerr_endline "trustseq: --defect-every must be at least 1";
+      exit 2
+    | _ -> ());
+    let config =
+      {
+        Service.default with
+        Service.sessions;
+        seed = Int64.of_int seed;
+        concurrency;
+        mode;
+        mix = { Workload.Gen.default_mix with Workload.Gen.trust_density = density };
+        rescue = not no_rescue;
+        verify_cache = verify;
+        drop_rate;
+        defect_every;
+      }
+    in
+    let outcome = Service.run config in
+    if json then print_string (Service.json outcome)
+    else Format.printf "%a" Service.report outcome;
+    (* wall-clock throughput goes to stderr so stdout stays a
+       byte-identical snapshot across runs with the same seed *)
+    prerr_endline (Service.wall_line outcome);
+    0
+  in
+  let sessions =
+    Arg.(
+      value & opt int 100
+      & info [ "sessions" ] ~docv:"N" ~doc:"How many exchange sessions to generate and run.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload PRNG seed.")
+  in
+  let concurrency =
+    Arg.(
+      value & opt int 8
+      & info [ "concurrency" ] ~docv:"LANES" ~doc:"Virtual scheduler lanes (bounded concurrency).")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("lockstep", Trust_sim.Harness.Lockstep);
+               ("distributed", Trust_sim.Harness.Distributed);
+             ])
+          Trust_sim.Harness.Lockstep
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Protocol mode: lockstep (paper-sound) or distributed.")
+  in
+  let density =
+    Arg.(
+      value
+      & opt float Workload.Gen.default_mix.Workload.Gen.trust_density
+      & info [ "trust-density" ] ~docv:"P" ~doc:"Direct-trust probability per generated deal.")
+  in
+  let drop_rate =
+    Arg.(
+      value & opt float 0.
+      & info [ "drop-rate" ] ~docv:"P"
+          ~doc:"Per-delivery drop probability on first attempts (retried once without drops).")
+  in
+  let defect_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "defect-every" ] ~docv:"N" ~doc:"Make every N-th session's first principal defect.")
+  in
+  let no_rescue =
+    Arg.(value & flag & info [ "no-rescue" ] ~doc:"Do not rescue infeasible specs with indemnities.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify-cache" ]
+          ~doc:"Re-synthesize on every cache hit and fail loudly on divergence.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a generated multi-session workload through the concurrent exchange service \
+          (protocol cache + batch scheduler) and print a deterministic metrics report.")
+    Term.(
+      const run $ sessions $ seed $ concurrency $ mode $ density $ drop_rate $ defect_every
+      $ no_rescue $ verify $ json)
+
 (* petri *)
 
 let petri_cmd =
@@ -404,6 +507,6 @@ let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
     (Cmd.info "trustseq" ~version:"1.0.0" ~doc)
-    [ check_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd ]
+    [ check_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

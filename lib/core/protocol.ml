@@ -130,6 +130,23 @@ let script_of t party =
   | Some (_, steps) -> steps
   | None -> []
 
+let equal_condition a b =
+  match (a, b) with
+  | Now, Now -> true
+  | Observed x, Observed y -> Action.equal x y
+  | (Now | Observed _), _ -> false
+
+let equal_step a b = equal_condition a.condition b.condition && Action.equal a.action b.action
+
+let equal_roles a b =
+  List.length a.roles = List.length b.roles
+  && List.for_all2
+       (fun (pa, sa) (pb, sb) ->
+         Party.equal pa pb
+         && List.length sa = List.length sb
+         && List.for_all2 equal_step sa sb)
+       a.roles b.roles
+
 let pp_condition ppf = function
   | Now -> Format.pp_print_string ppf "now"
   | Observed a -> Format.fprintf ppf "after %a" Action.pp a

@@ -42,6 +42,15 @@ val synthesize_lockstep : ?prologue:Action.t list -> Execution.sequence -> t
 val script_of : t -> Party.t -> scripted_step list
 (** Empty for parties with no actions. *)
 
+val equal_condition : condition -> condition -> bool
+val equal_step : scripted_step -> scripted_step -> bool
+
+val equal_roles : t -> t -> bool
+(** Same parties with the same scripts in the same order — the whole
+    observable content of a protocol (the [spec] field is not compared).
+    Used by the serve-layer protocol cache to assert that a cache hit is
+    indistinguishable from fresh synthesis. *)
+
 val observes : Party.t -> Action.t -> bool
 (** Does this party locally observe this action? True for the receiving
     target of a transfer (or the refunded source of an [Undo]) and the

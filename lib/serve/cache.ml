@@ -1,0 +1,129 @@
+open Exchange
+module Harness = Trust_sim.Harness
+module Feasibility = Trust_core.Feasibility
+module Indemnity = Trust_core.Indemnity
+module Protocol = Trust_core.Protocol
+
+type policy = { mode : Harness.mode; shared : bool; rescue : bool; verify : bool }
+
+let default_policy = { mode = Harness.Lockstep; shared = false; rescue = true; verify = false }
+
+type entry = {
+  split_spec : Spec.t;
+  plan : Indemnity.plan option;
+  protocol : Protocol.t;
+}
+
+exception Divergence of string
+
+type t = {
+  policy : policy;
+  capacity : int;
+  table : (string, (entry, string) result) Hashtbl.t;
+  order : string Queue.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable bypasses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 4096) policy =
+  if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    policy;
+    capacity;
+    table = Hashtbl.create 64;
+    order = Queue.create ();
+    hits = 0;
+    misses = 0;
+    bypasses = 0;
+    evictions = 0;
+  }
+
+let policy t = t.policy
+
+let merge_plans = function
+  | [] -> None
+  | [ plan ] -> Some plan
+  | plans ->
+    Some
+      Indemnity.
+        {
+          offers = List.concat_map (fun p -> p.offers) plans;
+          total = List.fold_left (fun acc p -> acc + p.Indemnity.total) 0 plans;
+        }
+
+let fresh policy spec =
+  let plan =
+    if (not policy.rescue) || Feasibility.is_feasible ~shared:policy.shared spec then None
+    else
+      match Feasibility.rescue_with_indemnities ~shared:policy.shared spec with
+      | Some rescue -> merge_plans rescue.Feasibility.plans
+      | None -> None
+  in
+  match Harness.assemble ~mode:policy.mode ~shared:policy.shared ?plan spec with
+  | Ok cast -> Ok { split_spec = cast.Harness.spec; plan; protocol = cast.Harness.protocol }
+  | Error e -> Error e
+
+let equal_offer (a : Indemnity.offer) (b : Indemnity.offer) =
+  Spec.equal_ref a.Indemnity.piece b.Indemnity.piece
+  && Party.equal a.Indemnity.owner b.Indemnity.owner
+  && Party.equal a.Indemnity.offered_by b.Indemnity.offered_by
+  && Party.equal a.Indemnity.via b.Indemnity.via
+  && a.Indemnity.amount = b.Indemnity.amount
+
+let equal_plan a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+    a.Indemnity.total = b.Indemnity.total
+    && List.length a.Indemnity.offers = List.length b.Indemnity.offers
+    && List.for_all2 equal_offer a.Indemnity.offers b.Indemnity.offers
+  | (None | Some _), _ -> false
+
+let entry_equal a b =
+  String.equal (Shape.encode a.split_spec) (Shape.encode b.split_spec)
+  && equal_plan a.plan b.plan
+  && Protocol.equal_roles a.protocol b.protocol
+
+let verify t spec cached =
+  match (cached, fresh t.policy spec) with
+  | Ok c, Ok f when entry_equal c f -> ()
+  | Error a, Error b when String.equal a b -> ()
+  | (Ok _ | Error _), _ -> raise (Divergence (Shape.hash_hex spec))
+
+let synthesize t spec =
+  if not (Shape.cacheable spec) then begin
+    t.bypasses <- t.bypasses + 1;
+    (fresh t.policy spec, `Bypass)
+  end
+  else
+    let key = Shape.encode spec in
+    match Hashtbl.find_opt t.table key with
+    | Some cached ->
+      t.hits <- t.hits + 1;
+      if t.policy.verify then verify t spec cached;
+      (cached, `Hit)
+    | None ->
+      let value = fresh t.policy spec in
+      if Hashtbl.length t.table >= t.capacity then begin
+        match Queue.take_opt t.order with
+        | Some victim ->
+          Hashtbl.remove t.table victim;
+          t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      Hashtbl.add t.table key value;
+      Queue.add key t.order;
+      t.misses <- t.misses + 1;
+      (value, `Miss)
+
+let hits t = t.hits
+let misses t = t.misses
+let bypasses t = t.bypasses
+let evictions t = t.evictions
+let size t = Hashtbl.length t.table
+
+let hit_rate t =
+  let looked = t.hits + t.misses in
+  if looked = 0 then 0. else float_of_int t.hits /. float_of_int looked

@@ -1,0 +1,69 @@
+(** The protocol cache: memoized synthesis.
+
+    Synthesizing a protocol for a spec — feasibility analysis by graph
+    reduction, the indemnity rescue loop when the bare spec is stuck,
+    sequencing and per-party script generation — is pure in the spec
+    and the synthesis policy. Workload generators emit structurally
+    identical specs over and over (every [chain ~brokers:2] draw is the
+    same spec), so the service memoizes synthesis keyed by the
+    {!Shape.encode} canonical form.
+
+    The correctness invariant, checked when the policy sets [verify]
+    (and exercised by the property tests): {e a cache hit is equal to
+    fresh synthesis} — same split spec, same indemnity plan, same
+    per-party scripts. Behaviours are single-run stateful machines and
+    are therefore {e never} cached; callers rebuild them per run with
+    {!Trust_sim.Harness.behaviors_for}. *)
+
+open Exchange
+
+type policy = {
+  mode : Trust_sim.Harness.mode;
+  shared : bool;  (** enable the shared-agent reduction rule *)
+  rescue : bool;  (** rescue infeasible specs with indemnities (§6) *)
+  verify : bool;  (** re-synthesize on every hit and compare *)
+}
+
+val default_policy : policy
+(** Lockstep, no shared agents, rescue on, verify off. *)
+
+type entry = {
+  split_spec : Spec.t;  (** the spec after the plan's indemnity splits *)
+  plan : Trust_core.Indemnity.plan option;  (** the rescue plan, when one was needed *)
+  protocol : Trust_core.Protocol.t;
+}
+
+exception Divergence of string
+(** Raised (with the spec's shape hash) when verification finds a hit
+    that differs from fresh synthesis — a cache-correctness bug. *)
+
+type t
+
+val create : ?capacity:int -> policy -> t
+(** [capacity] (default 4096) bounds resident entries; the oldest
+    insertion is evicted first. Infeasible verdicts are cached too
+    (negative caching), so repeated unrescuable shapes are rejected
+    without re-analysis. *)
+
+val policy : t -> policy
+
+val synthesize : t -> Spec.t -> (entry, string) result * [ `Hit | `Miss | `Bypass ]
+(** Memoized synthesis. [`Bypass] means the spec was not {!Shape.cacheable}
+    and was synthesized fresh without touching the table. [Error] is the
+    synthesis failure (infeasible and not rescued). *)
+
+val fresh : policy -> Spec.t -> (entry, string) result
+(** Uncached synthesis — the reference the invariant compares against. *)
+
+val entry_equal : entry -> entry -> bool
+(** Structural: canonical split-spec encodings, plan offers, and
+    protocol scripts all equal. *)
+
+val hits : t -> int
+val misses : t -> int
+val bypasses : t -> int
+val evictions : t -> int
+val size : t -> int
+
+val hit_rate : t -> float
+(** [hits / (hits + misses)] over cacheable lookups; [0.] before any. *)

@@ -1,0 +1,138 @@
+type counter = { c_name : string; c_help : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  bounds : int array;  (** strictly increasing upper bounds, [+Inf] implicit *)
+  counts : int array;  (** per-bucket (non-cumulative); length = bounds + 1 *)
+  mutable sum : int;
+  mutable total : int;
+}
+
+type gauge = { g_name : string; g_help : string; mutable v : float }
+
+type metric = Counter of counter | Histogram of histogram | Gauge of gauge
+
+type t = { table : (string, metric) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 32 }
+
+let default_buckets = [ 1; 2; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000 ]
+
+let register t name metric =
+  match Hashtbl.find_opt t.table name with
+  | None ->
+    Hashtbl.add t.table name metric;
+    metric
+  | Some existing -> existing
+
+let counter t ?(help = "") name =
+  match register t name (Counter { c_name = name; c_help = help; count = 0 }) with
+  | Counter c -> c
+  | Histogram _ | Gauge _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+
+let histogram t ?(help = "") ?(buckets = default_buckets) name =
+  (match buckets with
+  | [] -> invalid_arg "Metrics.histogram: empty bucket list"
+  | _ :: rest ->
+    ignore
+      (List.fold_left
+         (fun prev b ->
+           if b <= prev then invalid_arg "Metrics.histogram: buckets must increase";
+           b)
+         (List.hd buckets) rest));
+  let fresh =
+    Histogram
+      {
+        h_name = name;
+        h_help = help;
+        bounds = Array.of_list buckets;
+        counts = Array.make (List.length buckets + 1) 0;
+        sum = 0;
+        total = 0;
+      }
+  in
+  match register t name fresh with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+
+let observe h v =
+  let rec slot i = if i >= Array.length h.bounds || v <= h.bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum + v;
+  h.total <- h.total + 1
+
+let gauge t ?(help = "") name v =
+  match register t name (Gauge { g_name = name; g_help = help; v }) with
+  | Gauge g -> g.v <- v
+  | Counter _ | Histogram _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+
+let sorted t =
+  List.sort
+    (fun (a, _) (b, _) -> String.compare a b)
+    (Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [])
+
+let to_text t =
+  let buf = Buffer.create 1024 in
+  let help name h = if h <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name h) in
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Counter c ->
+        help name c.c_help;
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.count)
+      | Gauge g ->
+        help name g.g_help;
+        Buffer.add_string buf (Printf.sprintf "%s %.6f\n" name g.v)
+      | Histogram h ->
+        help name h.h_help;
+        let cumulative = ref 0 in
+        Array.iteri
+          (fun i n ->
+            cumulative := !cumulative + n;
+            let le =
+              if i < Array.length h.bounds then string_of_int h.bounds.(i) else "+Inf"
+            in
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%s\"} %d\n" name le !cumulative))
+          h.counts;
+        Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" name h.sum);
+        Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.total))
+    (sorted t);
+  Buffer.contents buf
+
+let to_json t =
+  let metrics = sorted t in
+  let pick f = List.filter_map f metrics in
+  let counters =
+    pick (function name, Counter c -> Some (Printf.sprintf "%S:%d" name c.count) | _ -> None)
+  in
+  let gauges =
+    pick (function name, Gauge g -> Some (Printf.sprintf "%S:%.6f" name g.v) | _ -> None)
+  in
+  let histograms =
+    pick (function
+      | name, Histogram h ->
+        let cumulative = ref 0 in
+        let buckets =
+          Array.to_list
+            (Array.mapi
+               (fun i n ->
+                 cumulative := !cumulative + n;
+                 let le =
+                   if i < Array.length h.bounds then string_of_int h.bounds.(i) else "+Inf"
+                 in
+                 Printf.sprintf "%S:%d" le !cumulative)
+               h.counts)
+        in
+        Some
+          (Printf.sprintf "%S:{\"buckets\":{%s},\"sum\":%d,\"count\":%d}" name
+             (String.concat "," buckets) h.sum h.total)
+      | _ -> None)
+  in
+  Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
+    (String.concat "," counters) (String.concat "," gauges) (String.concat "," histograms)

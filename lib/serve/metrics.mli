@@ -1,0 +1,42 @@
+(** A small metrics registry for the exchange service: named counters,
+    gauges and latency histograms with deterministic text and JSON
+    snapshots.
+
+    Determinism is load-bearing: every quantity the service records is
+    measured in {e virtual} units (engine ticks, events, session
+    counts), so two runs with the same seed produce byte-identical
+    snapshots. Wall-clock throughput is deliberately kept out of the
+    registry — see {!Service.wall_line}. Snapshots render metrics
+    sorted by name, never in hash-table order. *)
+
+type t
+type counter
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> counter
+(** Register (or fetch, when already registered) a counter.
+    @raise Invalid_argument when the name is taken by another kind. *)
+
+val incr : ?by:int -> counter -> unit
+val value : counter -> int
+
+val histogram : t -> ?help:string -> ?buckets:int list -> string -> histogram
+(** Upper-bound buckets, strictly increasing; an implicit [+Inf] bucket
+    is always appended. Defaults to a 1..10000 log-ish ladder suited to
+    engine tick and event counts. *)
+
+val observe : histogram -> int -> unit
+
+val gauge : t -> ?help:string -> string -> float -> unit
+(** Set a gauge, registering it on first use. *)
+
+val to_text : t -> string
+(** Prometheus-flavoured exposition: [# HELP] lines, counter samples,
+    [_bucket{le="…"}]/[_sum]/[_count] for histograms, gauges with fixed
+    6-decimal formatting. *)
+
+val to_json : t -> string
+(** The same snapshot as one JSON object:
+    [{"counters":{…},"gauges":{…},"histograms":{…}}], keys sorted. *)

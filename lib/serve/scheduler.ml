@@ -1,0 +1,184 @@
+module Harness = Trust_sim.Harness
+module Engine = Trust_sim.Engine
+module Audit = Trust_sim.Audit
+
+type config = {
+  concurrency : int;
+  session_deadline : int;
+  latency : int;
+  max_events : int;
+  drop_rate : float;
+  retry : bool;
+  seed : int64;
+}
+
+let default_config =
+  {
+    concurrency = 8;
+    session_deadline = 1000;
+    latency = 1;
+    max_events = 100_000;
+    drop_rate = 0.;
+    retry = true;
+    seed = 1L;
+  }
+
+type stats = { makespan : int; retried : int }
+
+(* Stateless per-delivery fault decision: the engine hands us the
+   performed-action sequence number, and the verdict depends only on
+   (seed, session, seq) — deterministic whatever order sessions run in. *)
+let drop_decision cfg ~session_id seq =
+  let golden = 0x9E3779B97F4A7C15L and fold = 0xC2B2AE3D27D4EB4FL in
+  let h =
+    Shape.mix64
+      (Int64.add cfg.seed
+         (Int64.add
+            (Int64.mul (Int64.of_int (session_id + 1)) golden)
+            (Int64.mul (Int64.of_int (seq + 1)) fold)))
+  in
+  Shape.uniform h < cfg.drop_rate
+
+let virtual_duration (result : Engine.result) =
+  List.fold_left (fun acc (d : Engine.delivery) -> max acc d.Engine.at) 0 result.Engine.log
+
+type recorders = {
+  settled : Metrics.counter;
+  expired : Metrics.counter;
+  aborted : Metrics.counter;
+  retried_c : Metrics.counter;
+  cache_hits : Metrics.counter;
+  cache_misses : Metrics.counter;
+  engine_events : Metrics.counter;
+  deliveries : Metrics.counter;
+  ticks_h : Metrics.histogram;
+  events_h : Metrics.histogram;
+}
+
+let recorders metrics =
+  Option.map
+    (fun m ->
+      {
+        settled = Metrics.counter m ~help:"sessions that reached every preferred outcome" "serve_sessions_settled_total";
+        expired = Metrics.counter m ~help:"sessions unwound by the escrow deadline" "serve_sessions_expired_total";
+        aborted = Metrics.counter m ~help:"sessions whose synthesis failed" "serve_sessions_aborted_total";
+        retried_c = Metrics.counter m ~help:"drop-stalled sessions retried once" "serve_sessions_retried_total";
+        cache_hits = Metrics.counter m ~help:"protocol cache hits" "serve_cache_hits_total";
+        cache_misses = Metrics.counter m ~help:"protocol cache misses or bypasses" "serve_cache_misses_total";
+        engine_events = Metrics.counter m ~help:"discrete-event engine events" "serve_engine_events_total";
+        deliveries = Metrics.counter m ~help:"actions delivered" "serve_deliveries_total";
+        ticks_h = Metrics.histogram m ~help:"virtual session duration (ticks)" "serve_session_ticks";
+        events_h = Metrics.histogram m ~help:"engine events per session" "serve_session_events";
+      })
+    metrics
+
+let record rec_opt f = Option.iter f rec_opt
+
+(* One engine run of an already-synthesized session. *)
+let run_once cfg (entry : Cache.entry) policy (session : Session.t) ~drops rec_opt =
+  session.Session.attempts <- session.Session.attempts + 1;
+  let drop =
+    if drops && cfg.drop_rate > 0. then
+      Some (fun seq _action -> drop_decision cfg ~session_id:session.Session.id seq)
+    else None
+  in
+  let engine_config =
+    {
+      Engine.default_config with
+      Engine.latency = cfg.latency;
+      deadline = cfg.session_deadline;
+      max_events = cfg.max_events;
+      drop;
+    }
+  in
+  let behaviors =
+    Harness.behaviors_for ~shared:policy.Cache.shared ?plan:entry.Cache.plan
+      ~defectors:session.Session.defectors ~mode:policy.Cache.mode entry.Cache.split_spec
+      entry.Cache.protocol
+  in
+  let cast =
+    {
+      Harness.spec = entry.Cache.split_spec;
+      plan = entry.Cache.plan;
+      mode = policy.Cache.mode;
+      protocol = entry.Cache.protocol;
+      behaviors;
+    }
+  in
+  let result = Harness.run_cast ~config:engine_config cast in
+  let duration = max 1 (virtual_duration result) in
+  session.Session.ticks <- session.Session.ticks + duration;
+  session.Session.events <- session.Session.events + result.Engine.events;
+  session.Session.stalled <- List.length result.Engine.stalled;
+  record rec_opt (fun r ->
+      Metrics.incr ~by:result.Engine.events r.engine_events;
+      Metrics.incr ~by:(List.length result.Engine.log) r.deliveries;
+      Metrics.observe r.ticks_h duration;
+      Metrics.observe r.events_h result.Engine.events);
+  let report =
+    Audit.audit session.Session.spec ?plan:entry.Cache.plan
+      ~defectors:(List.map fst session.Session.defectors)
+      result
+  in
+  if report.Audit.all_preferred && result.Engine.stalled = [] then Session.Settled
+  else Session.Expired
+
+let run ?metrics cfg cache sessions =
+  if cfg.concurrency < 1 then invalid_arg "Scheduler.run: concurrency must be >= 1";
+  let rec_opt = recorders metrics in
+  (match metrics with
+  | Some m ->
+    ignore (Metrics.counter m ~help:"sessions admitted" "serve_sessions_total")
+  | None -> ());
+  let lanes = Array.make cfg.concurrency 0 in
+  let least_loaded () =
+    let best = ref 0 in
+    Array.iteri (fun i t -> if t < lanes.(!best) then best := i) lanes;
+    !best
+  in
+  let retried = ref 0 in
+  let policy = Cache.policy cache in
+  List.iter
+    (fun (session : Session.t) ->
+      (match metrics with
+      | Some m -> Metrics.incr (Metrics.counter m "serve_sessions_total")
+      | None -> ());
+      let lane = least_loaded () in
+      session.Session.started_at <- lanes.(lane);
+      Session.transition session Session.Synthesizing;
+      let verdict, outcome = Cache.synthesize cache session.Session.spec in
+      session.Session.cache_hit <- outcome = `Hit;
+      record rec_opt (fun r ->
+          match outcome with
+          | `Hit -> Metrics.incr r.cache_hits
+          | `Miss | `Bypass -> Metrics.incr r.cache_misses);
+      (match verdict with
+      | Error e ->
+        Session.transition session (Session.Aborted e);
+        (* an admission slot is never free, even to reject *)
+        session.Session.ticks <- 1;
+        record rec_opt (fun r -> Metrics.incr r.aborted)
+      | Ok entry -> (
+        Session.transition session Session.Running;
+        let status = run_once cfg entry policy session ~drops:true rec_opt in
+        Session.transition session status;
+        match status with
+        | Session.Expired when cfg.retry && cfg.drop_rate > 0. ->
+          (* Stalled under injected drops: requeue once and retransmit
+             over a reliable path (drops off). A second expiry sticks. *)
+          incr retried;
+          record rec_opt (fun r -> Metrics.incr r.retried_c);
+          Session.transition session Session.Queued;
+          Session.transition session Session.Synthesizing;
+          Session.transition session Session.Running;
+          Session.transition session (run_once cfg entry policy session ~drops:false rec_opt)
+        | _ -> ()));
+      (match session.Session.status with
+      | Session.Settled -> record rec_opt (fun r -> Metrics.incr r.settled)
+      | Session.Expired -> record rec_opt (fun r -> Metrics.incr r.expired)
+      | _ -> ());
+      session.Session.finished_at <- session.Session.started_at + session.Session.ticks;
+      lanes.(lane) <- session.Session.finished_at)
+    sessions;
+  let makespan = Array.fold_left max 0 lanes in
+  { makespan; retried = !retried }

@@ -1,0 +1,44 @@
+(** The deterministic batch scheduler.
+
+    Engine runs are synchronous, so concurrency is modelled, not
+    threaded: the scheduler keeps [concurrency] virtual lanes, admits
+    sessions in arrival order to the least-loaded lane (ties to the
+    lowest lane), and advances each lane's clock by the virtual
+    duration of the session's run. The resulting placement, lane
+    clocks, makespan and every metric are pure functions of the inputs
+    — two runs with the same sessions and seed are byte-identical.
+
+    Faults: with [drop_rate > 0] the first run of each session drops
+    each delivery independently with that probability, from a stateless
+    per-(seed, session, action) hash — no PRNG state is shared across
+    sessions, so placement never perturbs fault patterns. A session
+    whose faulted run expires is requeued once ([Expired → Queued]) and
+    retried on the same lane with drops off, modelling retransmission
+    over a reliable path; a session that expires for protocol reasons
+    (a defector) is {e not} retried when fault injection is off. *)
+
+type config = {
+  concurrency : int;  (** virtual lanes, >= 1 *)
+  session_deadline : int;  (** per-session engine escrow deadline (ticks) *)
+  latency : int;  (** per-session engine delivery latency *)
+  max_events : int;
+  drop_rate : float;  (** per-delivery drop probability on first runs *)
+  retry : bool;  (** retry-once for drop-stalled sessions *)
+  seed : int64;  (** fault-injection stream seed *)
+}
+
+val default_config : config
+(** 8 lanes, deadline 1000, latency 1, 100k events, no drops, retry on,
+    seed 1. *)
+
+type stats = {
+  makespan : int;  (** max lane clock after the batch, >= 1 per session *)
+  retried : int;
+}
+
+val run : ?metrics:Metrics.t -> config -> Cache.t -> Session.t list -> stats
+(** Drive every session through its lifecycle: synthesize through the
+    cache, rebuild fresh behaviours, run the engine with the session's
+    deadline, audit, classify ([Settled] iff the audit reached every
+    party's preferred outcome). When [metrics] is given, records
+    session counters, engine event counters and tick/event histograms. *)

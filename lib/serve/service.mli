@@ -1,0 +1,56 @@
+(** The multi-session exchange service: generate a workload, push it
+    through the protocol cache and the batch scheduler, and report.
+
+    Everything in {!report} and {!json} is deterministic in the config
+    (virtual ticks, counts, rates): two runs with the same seed are
+    byte-identical. Wall-clock throughput is reported separately by
+    {!wall_line} so it can never contaminate the snapshot. *)
+
+type config = {
+  sessions : int;
+  seed : int64;
+  mix : Workload.Gen.mix;  (** random-transaction mix for the workload *)
+  concurrency : int;
+  mode : Trust_sim.Harness.mode;
+  shared : bool;
+  rescue : bool;
+  verify_cache : bool;
+  cache_capacity : int;
+  session_deadline : int;
+  latency : int;
+  max_events : int;
+  drop_rate : float;
+  retry : bool;
+  defect_every : int option;
+      (** inject a [Silent] defector into every n-th session (its first
+          defectable principal), for adversarial batches *)
+}
+
+val default : config
+(** 100 sessions, seed 42, default mix, 8 lanes, Lockstep, rescue on. *)
+
+type outcome = {
+  config : config;
+  sessions : Session.t list;
+  metrics : Metrics.t;
+  cache : Cache.t;
+  stats : Scheduler.stats;
+  wall_seconds : float;
+}
+
+type tally = { settled : int; expired : int; aborted : int }
+
+val tally : Session.t list -> tally
+
+val run : config -> outcome
+
+val report : Format.formatter -> outcome -> unit
+(** The deterministic batch report: session tallies, cache statistics,
+    makespan, virtual throughput, and the full metrics snapshot. *)
+
+val json : outcome -> string
+(** The same snapshot as JSON (deterministic; no wall-clock values). *)
+
+val wall_line : outcome -> string
+(** Wall-clock throughput, e.g. ["wall 0.182s, 549.5 sessions/sec"] —
+    print it to stderr, not into the snapshot. *)

@@ -38,6 +38,63 @@ let distributed_deposit_steps plan party =
       else None)
     (deposit_actions plan)
 
+(* Behaviours are single-run stateful machines, so anything that reuses
+   a synthesized protocol (notably the serve-layer protocol cache) must
+   rebuild them per run; [assemble] shares this constructor. [split_spec]
+   is the spec the protocol was synthesized from, i.e. after the plan's
+   indemnity splits were applied. *)
+let behaviors_for ?(shared = false) ?plan ?(defectors = []) ~mode split_spec protocol =
+  let offers = match plan with Some p -> p.Indemnity.offers | None -> [] in
+  let defection_of party =
+    List.find_map
+      (fun (p, d) -> if Party.equal p party then Some d else None)
+      defectors
+  in
+  let principal_behavior party =
+    let script =
+      match mode with
+      | Lockstep -> Protocol.script_of protocol party
+      | Distributed -> distributed_deposit_steps plan party @ Protocol.script_of protocol party
+    in
+    let plays_a_role =
+      Party.Map.exists (fun _ p -> Party.equal p party) split_spec.Spec.personas
+    in
+    let add_duties inner =
+      if plays_a_role then Behavior.with_persona_duties split_spec party inner else inner
+    in
+    match defection_of party with
+    | None -> add_duties (Behavior.scripted party script)
+    | Some Silent -> Behavior.silent party
+    | Some (Partial keep) -> Behavior.partial party script ~keep
+  in
+  let trusted_behavior party =
+    match Spec.persona_of split_spec party with
+    | Some _ -> None (* the persona principal acts; no separate agent *)
+    | None ->
+      let notifies =
+        List.filter
+          (fun step ->
+            match step.Protocol.action with Action.Notify _ -> true | _ -> false)
+          (Protocol.script_of protocol party)
+      in
+      (* Atomic when it coordinates a bundle (§9 / Rule #3), or — in
+         the paper's monolithic reading, i.e. without [shared] — for
+         any multi-deal agent, whose single conjunction makes its
+         deals all-or-nothing by definition. *)
+      let coordinates =
+        List.exists
+          (fun (_, agent) -> Party.equal agent party)
+          (Trust_core.Sequencing.coordinated_bundles split_spec)
+      in
+      let mediates =
+        List.length (List.filter (fun d -> Party.equal d.Spec.via party) split_spec.Spec.deals)
+      in
+      let atomic = coordinates || ((not shared) && mediates > 1) in
+      Some (Behavior.escrow ~atomic split_spec party ~notifies ~indemnities:offers)
+  in
+  List.map principal_behavior (Spec.principals split_spec)
+  @ List.filter_map trusted_behavior (Spec.trusted_agents split_spec)
+
 let assemble ?(mode = Lockstep) ?(shared = false) ?plan ?(defectors = []) spec =
   let split_spec =
     match plan with Some plan -> Indemnity.apply plan spec | None -> spec
@@ -51,58 +108,7 @@ let assemble ?(mode = Lockstep) ?(shared = false) ?plan ?(defectors = []) spec =
       | Lockstep -> Protocol.synthesize_lockstep ~prologue:(deposit_actions plan) sequence
       | Distributed -> Protocol.synthesize sequence
     in
-    let offers = match plan with Some p -> p.Indemnity.offers | None -> [] in
-    let defection_of party =
-      List.find_map
-        (fun (p, d) -> if Party.equal p party then Some d else None)
-        defectors
-    in
-    let principal_behavior party =
-      let script =
-        match mode with
-        | Lockstep -> Protocol.script_of protocol party
-        | Distributed -> distributed_deposit_steps plan party @ Protocol.script_of protocol party
-      in
-      let plays_a_role =
-        Party.Map.exists (fun _ p -> Party.equal p party) split_spec.Spec.personas
-      in
-      let add_duties inner =
-        if plays_a_role then Behavior.with_persona_duties split_spec party inner else inner
-      in
-      match defection_of party with
-      | None -> add_duties (Behavior.scripted party script)
-      | Some Silent -> Behavior.silent party
-      | Some (Partial keep) -> Behavior.partial party script ~keep
-    in
-    let trusted_behavior party =
-      match Spec.persona_of split_spec party with
-      | Some _ -> None (* the persona principal acts; no separate agent *)
-      | None ->
-        let notifies =
-          List.filter
-            (fun step ->
-              match step.Protocol.action with Action.Notify _ -> true | _ -> false)
-            (Protocol.script_of protocol party)
-        in
-        (* Atomic when it coordinates a bundle (§9 / Rule #3), or — in
-           the paper's monolithic reading, i.e. without [shared] — for
-           any multi-deal agent, whose single conjunction makes its
-           deals all-or-nothing by definition. *)
-        let coordinates =
-          List.exists
-            (fun (_, agent) -> Party.equal agent party)
-            (Trust_core.Sequencing.coordinated_bundles split_spec)
-        in
-        let mediates =
-          List.length (List.filter (fun d -> Party.equal d.Spec.via party) split_spec.Spec.deals)
-        in
-        let atomic = coordinates || ((not shared) && mediates > 1) in
-        Some (Behavior.escrow ~atomic split_spec party ~notifies ~indemnities:offers)
-    in
-    let behaviors =
-      List.map principal_behavior (Spec.principals split_spec)
-      @ List.filter_map trusted_behavior (Spec.trusted_agents split_spec)
-    in
+    let behaviors = behaviors_for ~shared ?plan ~defectors ~mode split_spec protocol in
     Ok { spec = split_spec; plan; mode; protocol; behaviors }
 
 let config_for cast config =

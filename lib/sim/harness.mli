@@ -33,6 +33,22 @@ type defection =
   | Silent  (** never performs any action *)
   | Partial of int  (** performs only its first [n] scripted actions *)
 
+val behaviors_for :
+  ?shared:bool ->
+  ?plan:Trust_core.Indemnity.plan ->
+  ?defectors:(Party.t * defection) list ->
+  mode:mode ->
+  Spec.t ->
+  Trust_core.Protocol.t ->
+  Behavior.t list
+(** Build fresh behaviours for one run of an already-synthesized
+    protocol: scripted principals (replaced by the requested defection
+    for parties listed in [defectors]) and escrow automata for every
+    non-persona trusted role. The [Spec.t] argument is the {e split}
+    spec the protocol was synthesized from. Behaviours are single-run
+    stateful machines — callers that reuse a protocol across runs (the
+    serve-layer protocol cache) must call this once per run. *)
+
 val assemble :
   ?mode:mode ->
   ?shared:bool ->

@@ -1,0 +1,183 @@
+(* The protocol cache's contract: a cache hit is indistinguishable from
+   fresh synthesis, the canonical shape hash is stable across runs, and
+   distinct specs never share an encoding. *)
+
+open Exchange
+module Shape = Trust_serve.Shape
+module Cache = Trust_serve.Cache
+module Gen = Workload.Gen
+module Prng = Workload.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let outcome_label = function `Hit -> "hit" | `Miss -> "miss" | `Bypass -> "bypass"
+
+let test_hash_stable () =
+  check_string "same spec, same hash"
+    (Shape.hash_hex (Gen.chain ~brokers:3))
+    (Shape.hash_hex (Gen.chain ~brokers:3));
+  check_string "same spec, same encoding"
+    (Shape.encode (Gen.fan ~prices:[ Asset.dollars 10; Asset.dollars 20 ]))
+    (Shape.encode (Gen.fan ~prices:[ Asset.dollars 10; Asset.dollars 20 ]));
+  (* Pinned: the canonical encoding is part of the cache's persistence
+     contract. If this changes, every cached protocol is invalidated —
+     change it deliberately, not by accident. *)
+  check_string "pinned chain-1 hash" "c1dc6ceae41f53d2" (Shape.hash_hex (Gen.chain ~brokers:1))
+
+let test_hash_collisions () =
+  let rng = Prng.create 99L in
+  let specs =
+    List.init 16 (fun n -> Gen.chain ~brokers:n)
+    @ List.init 8 (fun k -> Gen.fan ~prices:(List.init (k + 1) (fun i -> Asset.dollars (10 * (i + 1)))))
+    @ List.init 8 (fun k -> Gen.bundle ~docs:(k + 1))
+  in
+  let random = Gen.random_transactions rng Gen.default_mix 100 in
+  let distinct_encodings = Hashtbl.create 64 and distinct_hashes = Hashtbl.create 64 in
+  List.iter
+    (fun spec ->
+      Hashtbl.replace distinct_encodings (Shape.encode spec) ();
+      Hashtbl.replace distinct_hashes (Shape.hash spec) ())
+    (specs @ random);
+  (* the fixed generators are pairwise structurally distinct *)
+  let fixed_encodings = Hashtbl.create 64 in
+  List.iter (fun spec -> Hashtbl.replace fixed_encodings (Shape.encode spec) ()) specs;
+  check_int "fixed generators never collide" (List.length specs) (Hashtbl.length fixed_encodings);
+  (* and hashing never merges distinct encodings in this population *)
+  check_int "hash is collision-free here" (Hashtbl.length distinct_encodings)
+    (Hashtbl.length distinct_hashes)
+
+let test_hit_after_miss () =
+  let cache = Cache.create Cache.default_policy in
+  let spec = Gen.chain ~brokers:2 in
+  let _, first = Cache.synthesize cache spec in
+  let _, second = Cache.synthesize cache spec in
+  check_string "first is a miss" "miss" (outcome_label first);
+  check_string "second is a hit" "hit" (outcome_label second);
+  check_int "one resident entry" 1 (Cache.size cache);
+  check "hit rate 1/2" true (Cache.hit_rate cache = 0.5)
+
+let test_hit_equals_fresh () =
+  (* verify-mode re-synthesizes on every hit and raises on divergence;
+     exercise it across the three workload families, including a fan
+     that needs the indemnity rescue. *)
+  let cache = Cache.create { Cache.default_policy with Cache.verify = true } in
+  let specs =
+    [
+      Gen.chain ~brokers:1;
+      Gen.chain ~brokers:3;
+      Gen.bundle ~docs:3;
+      Gen.fan ~prices:[ Asset.dollars 10; Asset.dollars 20; Asset.dollars 30 ];
+    ]
+  in
+  List.iter
+    (fun spec ->
+      (match Cache.synthesize cache spec with
+      | Ok _, `Miss -> ()
+      | Ok _, o -> Alcotest.failf "expected miss, got %s" (outcome_label o)
+      | Error e, _ -> Alcotest.failf "synthesis failed: %s" e);
+      match Cache.synthesize cache spec with
+      | Ok entry, `Hit -> (
+        match Cache.fresh (Cache.policy cache) spec with
+        | Ok fresh -> check "hit equals fresh" true (Cache.entry_equal entry fresh)
+        | Error e -> Alcotest.failf "fresh synthesis failed: %s" e)
+      | _, o -> Alcotest.failf "expected verified hit, got %s" (outcome_label o))
+    specs
+
+let test_rescued_fan_carries_plan () =
+  let cache = Cache.create Cache.default_policy in
+  let spec = Gen.fan ~prices:[ Asset.dollars 10; Asset.dollars 20; Asset.dollars 30 ] in
+  match Cache.synthesize cache spec with
+  | Ok entry, `Miss -> (
+    match entry.Cache.plan with
+    | Some plan ->
+      check_int "fig7 greedy rescue total" (Asset.dollars 70) plan.Trust_core.Indemnity.total
+    | None -> Alcotest.fail "rescued fan must carry its indemnity plan")
+  | _ -> Alcotest.fail "expected a fresh rescued synthesis"
+
+let test_negative_caching () =
+  let cache = Cache.create { Cache.default_policy with Cache.rescue = false } in
+  let spec = Gen.fan ~prices:[ Asset.dollars 10; Asset.dollars 20 ] in
+  (match Cache.synthesize cache spec with
+  | Error _, `Miss -> ()
+  | _ -> Alcotest.fail "bare fan must fail synthesis without rescue");
+  match Cache.synthesize cache spec with
+  | Error _, `Hit -> ()
+  | _ -> Alcotest.fail "the infeasible verdict must be cached too"
+
+let test_override_bypasses () =
+  let spec =
+    Spec.with_override (Party.consumer "c") State.always_acceptable (Gen.chain ~brokers:1)
+  in
+  check "override specs are not cacheable" false (Shape.cacheable spec);
+  let cache = Cache.create Cache.default_policy in
+  let _, first = Cache.synthesize cache spec in
+  let _, second = Cache.synthesize cache spec in
+  check_string "bypass" "bypass" (outcome_label first);
+  check_string "bypass again" "bypass" (outcome_label second);
+  check_int "nothing resident" 0 (Cache.size cache)
+
+let test_eviction () =
+  let cache = Cache.create ~capacity:2 Cache.default_policy in
+  let s1 = Gen.chain ~brokers:1 and s2 = Gen.chain ~brokers:2 and s3 = Gen.chain ~brokers:3 in
+  ignore (Cache.synthesize cache s1);
+  ignore (Cache.synthesize cache s2);
+  ignore (Cache.synthesize cache s3);
+  check_int "capacity respected" 2 (Cache.size cache);
+  check_int "one eviction" 1 (Cache.evictions cache);
+  (* s1 was the oldest insertion, so it is the one that went *)
+  let _, outcome = Cache.synthesize cache s1 in
+  check_string "evicted entry misses" "miss" (outcome_label outcome)
+
+let prop_cached_equals_fresh =
+  QCheck2.Test.make ~name:"cached synthesis equals fresh synthesis" ~count:60 QCheck2.Gen.int
+    (fun seed ->
+      let rng = Prng.create (Int64.of_int seed) in
+      let specs = Gen.random_transactions rng Gen.default_mix 6 in
+      let cache = Cache.create { Cache.default_policy with Cache.verify = true } in
+      List.for_all
+        (fun spec ->
+          ignore (Cache.synthesize cache spec);
+          (* the hit re-synthesizes under verify and raises on divergence *)
+          match Cache.synthesize cache spec with
+          | verdict, `Hit -> (
+            match (verdict, Cache.fresh (Cache.policy cache) spec) with
+            | Ok cached, Ok fresh -> Cache.entry_equal cached fresh
+            | Error a, Error b -> String.equal a b
+            | _ -> false)
+          | _, (`Miss | `Bypass) -> false)
+        specs)
+
+let prop_hash_deterministic =
+  QCheck2.Test.make ~name:"shape hash is a pure function of the spec" ~count:100 QCheck2.Gen.int
+    (fun seed ->
+      let spec_of () =
+        Gen.random_transaction (Prng.create (Int64.of_int seed)) Gen.default_mix
+      in
+      Shape.hash (spec_of ()) = Shape.hash (spec_of ())
+      && String.equal (Shape.encode (spec_of ())) (Shape.encode (spec_of ())))
+
+let () =
+  Alcotest.run "serve_cache"
+    [
+      ( "shape",
+        [
+          Alcotest.test_case "hash stability" `Quick test_hash_stable;
+          Alcotest.test_case "collision sanity" `Quick test_hash_collisions;
+          Alcotest.test_case "override bypass" `Quick test_override_bypasses;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit after miss" `Quick test_hit_after_miss;
+          Alcotest.test_case "hit equals fresh" `Quick test_hit_equals_fresh;
+          Alcotest.test_case "rescued fan carries plan" `Quick test_rescued_fan_carries_plan;
+          Alcotest.test_case "negative caching" `Quick test_negative_caching;
+          Alcotest.test_case "eviction" `Quick test_eviction;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_cached_equals_fresh;
+          QCheck_alcotest.to_alcotest prop_hash_deterministic;
+        ] );
+    ]

@@ -1,0 +1,160 @@
+(* The batch scheduler: explicit session lifecycle, deterministic
+   placement and metrics, defector isolation, and retry-once under
+   injected drops. *)
+
+module Harness = Trust_sim.Harness
+module Session = Trust_serve.Session
+module Scheduler = Trust_serve.Scheduler
+module Cache = Trust_serve.Cache
+module Metrics = Trust_serve.Metrics
+module Service = Trust_serve.Service
+module Gen = Workload.Gen
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let test_lifecycle () =
+  let session = Session.make ~id:0 (Gen.chain ~brokers:1) in
+  check_string "starts queued" "queued" (Session.status_label session.Session.status);
+  Session.transition session Session.Synthesizing;
+  Session.transition session Session.Running;
+  Session.transition session Session.Settled;
+  check "settled is terminal" true (Session.is_terminal session.Session.status);
+  let fresh = Session.make ~id:1 (Gen.chain ~brokers:1) in
+  Alcotest.check_raises "queued cannot settle"
+    (Invalid_argument "Session.transition: session 1 cannot go queued -> settled") (fun () ->
+      Session.transition fresh Session.Settled);
+  Session.transition fresh Session.Synthesizing;
+  Alcotest.check_raises "synthesizing cannot expire"
+    (Invalid_argument "Session.transition: session 1 cannot go synthesizing -> expired")
+    (fun () -> Session.transition fresh Session.Expired)
+
+(* One Lockstep batch: eight identical chains, session 3 defects
+   silently. The paper's safety claim says everyone else still settles
+   and only the defector's session unwinds at the deadline. *)
+let defector_batch () =
+  let spec = Gen.chain ~brokers:2 in
+  let defector =
+    match Harness.defectable_principals spec with
+    | p :: _ -> p
+    | [] -> Alcotest.fail "chain must have defectable principals"
+  in
+  let sessions =
+    List.init 8 (fun id ->
+        let defectors = if id = 3 then [ (defector, Harness.Silent) ] else [] in
+        Session.make ~id ~defectors spec)
+  in
+  let cache = Cache.create Cache.default_policy in
+  let metrics = Metrics.create () in
+  let stats = Scheduler.run ~metrics { Scheduler.default_config with Scheduler.concurrency = 4 } cache sessions in
+  (sessions, cache, metrics, stats)
+
+let test_defector_batch () =
+  let sessions, cache, _, _ = defector_batch () in
+  List.iter
+    (fun (s : Session.t) ->
+      let expected = if s.Session.id = 3 then "expired" else "settled" in
+      check_string
+        (Printf.sprintf "session %d" s.Session.id)
+        expected
+        (Session.status_label s.Session.status))
+    sessions;
+  (* eight admissions of one shape: 1 miss, 7 hits *)
+  check_int "one miss" 1 (Cache.misses cache);
+  check_int "seven hits" 7 (Cache.hits cache)
+
+let test_defector_batch_deterministic () =
+  let sessions1, _, metrics1, stats1 = defector_batch () in
+  let sessions2, _, metrics2, stats2 = defector_batch () in
+  check_string "metrics snapshots byte-identical" (Metrics.to_text metrics1)
+    (Metrics.to_text metrics2);
+  check_string "json snapshots byte-identical" (Metrics.to_json metrics1)
+    (Metrics.to_json metrics2);
+  check_int "same makespan" stats1.Scheduler.makespan stats2.Scheduler.makespan;
+  List.iter2
+    (fun (a : Session.t) (b : Session.t) ->
+      check_string "same status" (Session.status_label a.Session.status)
+        (Session.status_label b.Session.status);
+      check_int "same placement" a.Session.started_at b.Session.started_at;
+      check_int "same completion" a.Session.finished_at b.Session.finished_at)
+    sessions1 sessions2
+
+let test_retry_on_drops () =
+  let spec = Gen.chain ~brokers:2 in
+  let run ~drop_rate =
+    let session = Session.make ~id:0 spec in
+    let cache = Cache.create Cache.default_policy in
+    let config =
+      { Scheduler.default_config with Scheduler.concurrency = 1; drop_rate; seed = 5L }
+    in
+    let stats = Scheduler.run config cache [ session ] in
+    (session, stats)
+  in
+  let session, stats = run ~drop_rate:0.5 in
+  (* the faulted first attempt stalls the lockstep pipeline; the retry
+     runs drop-free and settles *)
+  check_int "retried once" 1 stats.Scheduler.retried;
+  check_int "two engine runs" 2 session.Session.attempts;
+  check_string "settled after retry" "settled" (Session.status_label session.Session.status);
+  let clean, clean_stats = run ~drop_rate:0. in
+  check_int "no retry without drops" 0 clean_stats.Scheduler.retried;
+  check_int "one engine run" 1 clean.Session.attempts;
+  check_string "settled" "settled" (Session.status_label clean.Session.status)
+
+let test_defector_not_retried () =
+  (* retry is for drop-stalled sessions; a protocol-level defection with
+     fault injection off expires exactly once *)
+  let spec = Gen.chain ~brokers:1 in
+  let defector = List.hd (Harness.defectable_principals spec) in
+  let session = Session.make ~id:0 ~defectors:[ (defector, Harness.Silent) ] spec in
+  let cache = Cache.create Cache.default_policy in
+  let stats = Scheduler.run Scheduler.default_config cache [ session ] in
+  check_int "no retries" 0 stats.Scheduler.retried;
+  check_int "single attempt" 1 session.Session.attempts;
+  check_string "expired" "expired" (Session.status_label session.Session.status)
+
+let test_bounded_concurrency () =
+  let sessions () = List.init 12 (fun id -> Session.make ~id (Gen.chain ~brokers:1)) in
+  let makespan lanes =
+    let cache = Cache.create Cache.default_policy in
+    (Scheduler.run { Scheduler.default_config with Scheduler.concurrency = lanes } cache
+       (sessions ()))
+      .Scheduler.makespan
+  in
+  let serial = makespan 1 and wide = makespan 4 in
+  check "more lanes, no slower" true (wide <= serial);
+  check "serial pays for every session" true (serial >= 12)
+
+let test_service_deterministic () =
+  let config =
+    {
+      Service.default with
+      Service.sessions = 60;
+      seed = 11L;
+      concurrency = 4;
+      defect_every = Some 7;
+    }
+  in
+  let a = Service.run config and b = Service.run config in
+  check_string "service json byte-identical" (Service.json a) (Service.json b);
+  let t = Service.tally a.Service.sessions in
+  check_int "every session terminal" 60
+    (t.Service.settled + t.Service.expired + t.Service.aborted);
+  check "cache pays" true (Cache.hit_rate a.Service.cache > 0.);
+  check "defectors expired" true (t.Service.expired > 0)
+
+let () =
+  Alcotest.run "serve_sched"
+    [
+      ("lifecycle", [ Alcotest.test_case "transitions" `Quick test_lifecycle ]);
+      ( "scheduler",
+        [
+          Alcotest.test_case "defector isolation" `Quick test_defector_batch;
+          Alcotest.test_case "deterministic batches" `Quick test_defector_batch_deterministic;
+          Alcotest.test_case "retry on drops" `Quick test_retry_on_drops;
+          Alcotest.test_case "defector not retried" `Quick test_defector_not_retried;
+          Alcotest.test_case "bounded concurrency" `Quick test_bounded_concurrency;
+        ] );
+      ("service", [ Alcotest.test_case "deterministic outcome" `Quick test_service_deterministic ]);
+    ]
