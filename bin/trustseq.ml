@@ -52,8 +52,79 @@ let check_cmd =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the reduction deletion log.")
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Decide feasibility by sequencing-graph reduction (exit 1 if stuck).")
+    (Cmd.info "check"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 — feasible.";
+           `P "1 — infeasible (reduction got stuck).";
+           `P
+             "2 — the file failed to load/parse/elaborate (malformed command lines get \
+              cmdliner's own 124).";
+         ]
+       ~doc:"Decide feasibility by sequencing-graph reduction (exit 1 if stuck).")
     Term.(const run $ file_arg $ verbose)
+
+(* lint *)
+
+let lint_cmd =
+  let module Lint = Trust_analyze.Lint in
+  let module Diagnostic = Trust_analyze.Diagnostic in
+  let run files format werror quick =
+    let deep = not quick in
+    let lint_one = function
+      | "-" -> Lint.lint_source ~file:"<stdin>" ~deep (In_channel.input_all stdin)
+      | path -> Lint.lint_file ~deep path
+    in
+    let diagnostics = Diagnostic.sort (List.concat_map lint_one files) in
+    let rendered = Lint.render format diagnostics in
+    (match format with
+    | Lint.Human -> if diagnostics <> [] then print_endline rendered
+    | Lint.Json | Lint.Sarif -> print_endline rendered);
+    Lint.exit_status ~werror diagnostics
+  in
+  let files =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"FILE" ~doc:"Specification files to lint ('-' for stdin).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("human", Lint.Human); ("json", Lint.Json); ("sarif", Lint.Sarif) ]) Lint.Human
+      & info [ "format" ] ~docv:"FMT" ~doc:"Report format: human, json or sarif (2.1.0).")
+  in
+  let werror =
+    Arg.(
+      value & flag
+      & info [ "Werror" ] ~doc:"Treat warnings as errors (info diagnostics never gate).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ]
+          ~doc:
+            "Structural rules only — skip the feasibility-based rules (TL006/TL007/TL009/TL012). \
+             This is what the serve admission gate runs.")
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 — clean: no error-severity diagnostics (info never gates, even under --Werror).";
+      `P "1 — diagnostics gated the lint: errors, or warnings under --Werror.";
+      `P
+        "2 — unreadable input or lex/parse failure (TL010); malformed command lines get \
+         cmdliner's own 124.";
+      `S "DIAGNOSTICS";
+      `P "Stable codes TL001-TL012; see docs/LINT.md for the catalogue with examples.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~man
+       ~doc:
+         "Lint specifications: structural smells, contradictory ordering constraints, \
+          infeasibility with a minimal stuck-kernel counterexample, and indemnity-rescue hints.")
+    Term.(const run $ files $ format $ werror $ quick)
 
 (* sequence *)
 
@@ -507,6 +578,6 @@ let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
     (Cmd.info "trustseq" ~version:"1.0.0" ~doc)
-    [ check_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd ]
+    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

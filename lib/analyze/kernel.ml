@@ -1,0 +1,145 @@
+open Exchange
+module Sequencing = Trust_core.Sequencing
+module Reduce = Trust_core.Reduce
+
+type t = {
+  edges : (int * int * Sequencing.colour) list;
+  component_count : int;
+}
+
+(* Nodes of the bipartite residual graph, keyed apart. *)
+type node = C of int | J of int
+
+let components edges =
+  let adj = Hashtbl.create 16 in
+  let add a b =
+    let old = try Hashtbl.find adj a with Not_found -> [] in
+    Hashtbl.replace adj a (b :: old)
+  in
+  List.iter
+    (fun (cid, jid, _) ->
+      add (C cid) (J jid);
+      add (J jid) (C cid))
+    edges;
+  let visited = Hashtbl.create 16 in
+  let rec reach acc = function
+    | [] -> acc
+    | node :: rest ->
+      if Hashtbl.mem visited node then reach acc rest
+      else begin
+        Hashtbl.add visited node ();
+        let next = try Hashtbl.find adj node with Not_found -> [] in
+        reach (node :: acc) (next @ rest)
+      end
+  in
+  List.filter_map
+    (fun (cid, _, _) ->
+      if Hashtbl.mem visited (C cid) then None
+      else
+        let nodes = reach [] [ C cid ] in
+        let members =
+          List.filter
+            (fun (c, j, _) -> List.mem (C c) nodes || List.mem (J j) nodes)
+            edges
+        in
+        Some members)
+    edges
+
+let min_cid edges =
+  List.fold_left (fun acc (cid, _, _) -> min acc cid) max_int edges
+
+let of_outcome (outcome : Reduce.outcome) =
+  match outcome.Reduce.verdict with
+  | Reduce.Feasible -> None
+  | Reduce.Stuck { remaining } ->
+    let comps = components remaining in
+    let best =
+      List.fold_left
+        (fun best comp ->
+          match best with
+          | None -> Some comp
+          | Some b ->
+            let lb = List.length b and lc = List.length comp in
+            if lc < lb || (lc = lb && min_cid comp < min_cid b) then Some comp
+            else best)
+        None comps
+    in
+    Option.map
+      (fun edges -> { edges; component_count = List.length comps })
+      best
+
+let explain graph kernel =
+  let commitment cid = Sequencing.commitment graph cid in
+  let conjunction jid = Sequencing.conjunction graph jid in
+  let pp_c cid =
+    let c = commitment cid in
+    Format.asprintf "commitment %a (by %s)" Spec.pp_ref
+      c.Sequencing.cref
+      (Party.name c.Sequencing.principal)
+  in
+  let pp_j jid =
+    let j = conjunction jid in
+    Format.asprintf "conjunction of %s" (Party.name j.Sequencing.owner)
+  in
+  let edge_lines =
+    List.map
+      (fun (cid, jid, colour) ->
+        Format.asprintf "%s %s-linked to %s" (pp_c cid)
+          (match colour with Sequencing.Red -> "red" | Sequencing.Black -> "black")
+          (pp_j jid))
+      kernel.edges
+  in
+  let cids =
+    List.sort_uniq Int.compare (List.map (fun (c, _, _) -> c) kernel.edges)
+  in
+  let jids =
+    List.sort_uniq Int.compare (List.map (fun (_, j, _) -> j) kernel.edges)
+  in
+  let node_lines =
+    List.filter_map
+      (fun cid ->
+        match Sequencing.edges_of_commitment graph cid with
+        | [] | [ (_, Sequencing.Black) ] -> None
+        | [ (jid, Sequencing.Red) ] -> (
+          match Sequencing.red_sibling graph ~cid ~jid with
+          | Some sibling ->
+            Some
+              (Format.asprintf "%s is on the fringe but pre-empted by red %s"
+                 (pp_c cid) (pp_c sibling))
+          | None -> None)
+        | _ :: _ :: _ ->
+          Some
+            (Format.asprintf
+               "%s still links two conjunctions, so it is not on the fringe"
+               (pp_c cid)))
+      cids
+    @ List.filter_map
+        (fun jid ->
+          match Sequencing.edges_of_conjunction graph jid with
+          | [] | [ _ ] -> None
+          | edges ->
+            let reds =
+              List.filter
+                (fun (_, colour) -> colour = Sequencing.Red)
+                edges
+            in
+            if List.length reds >= 2 then
+              Some
+                (Format.asprintf
+                   "%s holds %d red edges that mutually pre-empt each other"
+                   (pp_j jid) (List.length reds))
+            else
+              Some
+                (Format.asprintf "%s still holds %d edges" (pp_j jid)
+                   (List.length edges)))
+        jids
+  in
+  let header =
+    Format.asprintf "minimal stuck kernel: %d edge(s)%s"
+      (List.length kernel.edges)
+      (if kernel.component_count > 1 then
+         Format.asprintf " (smallest of %d stuck components)"
+           kernel.component_count
+       else "")
+  in
+  (header :: edge_lines) @ node_lines

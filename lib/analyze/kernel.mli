@@ -1,0 +1,25 @@
+(** Minimal stuck kernel of an irreducible sequencing graph.
+
+    When reduction gets stuck (§4.2.4), the remaining edges split into
+    connected components; each component is independently irreducible,
+    so the smallest one is a minimal counterexample — the cheapest thing
+    to show a user as "here is the knot". [explain] says, per node, why
+    neither Rule #1 nor Rule #2 applies to it. *)
+
+module Sequencing := Trust_core.Sequencing
+module Reduce := Trust_core.Reduce
+
+type t = {
+  edges : (int * int * Sequencing.colour) list;
+      (** the smallest component's [(cid, jid, colour)] edges *)
+  component_count : int;  (** stuck components in the whole graph *)
+}
+
+val of_outcome : Reduce.outcome -> t option
+(** [None] when the outcome is feasible. The smallest component is
+    chosen by edge count, ties broken by lowest commitment id. *)
+
+val explain : Sequencing.t -> t -> string list
+(** Human explanation: one line per kernel edge, then one line per node
+    saying why it is irreducible (not on the fringe / pre-empted by a
+    red sibling). Deterministic order. *)

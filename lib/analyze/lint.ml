@@ -1,0 +1,53 @@
+module Ast = Trust_lang.Ast
+module Parser = Trust_lang.Parser
+module Elaborate = Trust_lang.Elaborate
+
+type format = Human | Json | Sarif
+
+let check_spec ?file ?decls ?(deep = true) spec =
+  Diagnostic.sort (Rules.check ?file ?decls ~deep spec)
+
+let elaboration_diags ?file errors =
+  List.map
+    (fun (e : Elaborate.error) ->
+      Diagnostic.make ?file ~loc:e.Elaborate.loc Diagnostic.Elaboration_error
+        e.Elaborate.message)
+    (Elaborate.sort_errors errors)
+
+let lint_source ?file ?deep src =
+  match Parser.parse src with
+  | Error e ->
+    [
+      Diagnostic.make ?file ~loc:e.Parser.loc Diagnostic.Parse_error
+        e.Parser.message;
+    ]
+  | Ok decls ->
+    if Elaborate.is_web decls then
+      match Elaborate.web decls with
+      | Ok _ -> []
+      | Error errors -> elaboration_diags ?file errors
+    else (
+      match Elaborate.program decls with
+      | Error errors -> elaboration_diags ?file errors
+      | Ok spec -> check_spec ?file ~decls ?deep spec)
+
+let lint_file ?deep path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> lint_source ~file:path ?deep src
+  | exception Sys_error message ->
+    [ Diagnostic.make ~file:path Diagnostic.Parse_error message ]
+
+let exit_status ?werror diagnostics =
+  if
+    List.exists
+      (fun d -> d.Diagnostic.code = Diagnostic.Parse_error)
+      diagnostics
+  then 2
+  else if List.exists (Diagnostic.gating ?werror) diagnostics then 1
+  else 0
+
+let render format diagnostics =
+  match format with
+  | Human -> Diagnostic.render_human diagnostics
+  | Json -> Diagnostic.render_json diagnostics
+  | Sarif -> Diagnostic.render_sarif diagnostics

@@ -1,0 +1,34 @@
+(** Entry points for the spec linter.
+
+    Exit-code contract (documented in docs/LINT.md and the man page):
+    0 — clean (info diagnostics never gate, even under [--Werror]);
+    1 — error-severity diagnostics (or warnings under [--Werror]);
+    2 — usage, unreadable input, or lex/parse failure (TL010). *)
+
+open Exchange
+
+type format = Human | Json | Sarif
+
+val check_spec :
+  ?file:string ->
+  ?decls:Trust_lang.Ast.program ->
+  ?deep:bool ->
+  Spec.t ->
+  Diagnostic.t list
+(** Lint an already-elaborated spec. [deep] (default [true]) also runs
+    the feasibility-based rules; the serve admission gate uses
+    [deep:false] to stay cheap. Sorted deterministically. *)
+
+val lint_source : ?file:string -> ?deep:bool -> string -> Diagnostic.t list
+(** Parse, elaborate and lint DSL source. Lex/parse failures yield a
+    single TL010; elaboration failures yield one TL011 per error (in
+    location order); web programs are checked for elaboration only. *)
+
+val lint_file : ?deep:bool -> string -> Diagnostic.t list
+(** [lint_source] on the file's contents; an unreadable file yields
+    TL010. *)
+
+val exit_status : ?werror:bool -> Diagnostic.t list -> int
+(** The contract above, over a (possibly multi-file) report. *)
+
+val render : format -> Diagnostic.t list -> string

@@ -1,0 +1,24 @@
+(** The lint rules over an elaborated spec (plus its AST for source
+    locations, when available).
+
+    Structural rules (always run): TL001 unused-party (AST-only),
+    TL002 dead-asset, TL003 unbacked-split, TL004 redundant-priority,
+    TL005 contradictory-priorities, TL008 zero-value-leg.
+
+    Deep rules ([deep:true]) additionally run the full feasibility
+    pipeline: TL006 unreachable-acceptance / TL009
+    rescuable-infeasibility (with the minimal stuck kernel as notes),
+    TL007 vacuous-intermediary, TL012 unsafe-sequence (the safety
+    verifier re-checking the synthesized sequence). When TL005 fires,
+    TL006/TL009 are suppressed — the contradiction already explains the
+    stuck graph. *)
+
+open Exchange
+
+val check :
+  ?file:string ->
+  ?decls:Trust_lang.Ast.program ->
+  deep:bool ->
+  Spec.t ->
+  Diagnostic.t list
+(** Unsorted; {!Lint} sorts before rendering. *)

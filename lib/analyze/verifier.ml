@@ -1,0 +1,213 @@
+open Exchange
+module Execution = Trust_core.Execution
+module Feasibility = Trust_core.Feasibility
+
+type exposure = {
+  step : int;
+  party : Party.t;
+  deal : string;
+  side : Spec.side;
+  at_risk : Asset.t;
+  reason : string;
+}
+
+(* One escrow slot per interaction edge: the [side] principal's
+   commitment to the deal's (persona-resolved) trusted agent. The
+   replay matches raw transfers against these, independently of how the
+   synthesizer scheduled them. *)
+type slot = {
+  s_deal : Spec.deal;
+  s_side : Spec.side;
+  principal : Party.t;
+  agent : Party.t;
+  counterpart : Party.t;
+  sends : Asset.t;
+  expects : Asset.t;
+  virtual_commit : bool;  (** principal plays its own agent (§4.2.3) *)
+  direct : bool;  (** the counterpart plays the agent: commit = delivery *)
+  mutable sent : bool;
+  mutable forwarded : bool;
+  mutable received : bool;  (** principal holds what it expects *)
+}
+
+let slots_of_spec spec =
+  List.map
+    (fun ((cref : Spec.commitment_ref), (deal : Spec.deal)) ->
+      let side = cref.Spec.side in
+      let principal = Spec.commitment_principal deal side in
+      let agent = Spec.effective_agent spec deal in
+      let counterpart =
+        Spec.commitment_principal deal (Spec.other_side side)
+      in
+      let virtual_commit = Party.equal principal agent in
+      {
+        s_deal = deal;
+        s_side = side;
+        principal;
+        agent;
+        counterpart;
+        sends = Spec.commitment_sends deal side;
+        expects = Spec.commitment_expects deal side;
+        virtual_commit;
+        direct = Party.equal counterpart agent;
+        sent = virtual_commit;
+        forwarded = false;
+        received = false;
+      })
+    (Spec.commitments spec)
+
+let other_slot slots slot =
+  List.find
+    (fun s ->
+      String.equal s.s_deal.Spec.id slot.s_deal.Spec.id
+      && s.s_side = Spec.other_side slot.s_side)
+    slots
+
+let find_slot slots pred = List.find_opt pred slots
+
+let verify (seq : Execution.sequence) =
+  let spec = seq.Execution.spec in
+  let slots = slots_of_spec spec in
+  let exposures = ref [] in
+  let expose step party slot reason =
+    exposures :=
+      {
+        step;
+        party;
+        deal = slot.s_deal.Spec.id;
+        side = slot.s_side;
+        at_risk = slot.sends;
+        reason;
+      }
+      :: !exposures
+  in
+  let deliver slot =
+    slot.forwarded <- true;
+    (other_slot slots slot).received <- true
+  in
+  let replay (step : Execution.step) =
+    match step.Execution.action with
+    | Action.Notify _ -> ()
+    | Action.Do tr when Party.equal tr.Action.source tr.Action.target -> ()
+    | Action.Do tr -> (
+      let commit_match s =
+        (not s.sent)
+        && Party.equal tr.Action.source s.principal
+        && Party.equal tr.Action.target s.agent
+        && Asset.equal tr.Action.asset s.sends
+      in
+      let forward_match s =
+        s.sent && (not s.forwarded)
+        && Party.equal tr.Action.source s.agent
+        && Party.equal tr.Action.target s.counterpart
+        && Asset.equal tr.Action.asset s.sends
+      in
+      match find_slot slots commit_match with
+      | Some slot ->
+        slot.sent <- true;
+        (* Handing the asset to a counterpart the principal declared
+           direct trust in counts as delivery (§4.2.3). *)
+        if slot.direct then deliver slot
+      | None -> (
+        match find_slot slots forward_match with
+        | Some slot ->
+          deliver slot;
+          let other = other_slot slots slot in
+          let secured = other.sent && not other.forwarded in
+          if not (slot.received || secured) then
+            expose step.Execution.index slot.principal slot
+              (Format.asprintf
+                 "%s released %a to %s while %s's %a is neither received \
+                  nor escrowed"
+                 (Party.name slot.agent) Asset.pp slot.sends
+                 (Party.name slot.counterpart)
+                 (Party.name slot.counterpart)
+                 Asset.pp other.sends)
+        | None ->
+          exposures :=
+            {
+              step = step.Execution.index;
+              party = tr.Action.source;
+              deal = "-";
+              side = Spec.Left;
+              at_risk = tr.Action.asset;
+              reason =
+                Format.asprintf
+                  "transfer %a matches no pending commitment or forward"
+                  Action.pp step.Execution.action;
+            }
+            :: !exposures))
+    | Action.Undo tr -> (
+      let refund_match s =
+        s.sent && (not s.forwarded) && (not s.virtual_commit)
+        && Party.equal tr.Action.source s.principal
+        && Party.equal tr.Action.target s.agent
+        && Asset.equal tr.Action.asset s.sends
+      in
+      match find_slot slots refund_match with
+      | Some slot -> slot.sent <- false
+      | None ->
+        exposures :=
+          {
+            step = step.Execution.index;
+            party = tr.Action.target;
+            deal = "-";
+            side = Spec.Left;
+            at_risk = tr.Action.asset;
+            reason =
+              Format.asprintf "undo %a matches no escrowed commitment"
+                Action.pp step.Execution.action;
+          }
+          :: !exposures)
+  in
+  List.iter replay seq.Execution.steps;
+  List.iter
+    (fun slot ->
+      if not slot.received then
+        if slot.forwarded then
+          expose 0 slot.principal slot
+            (Format.asprintf
+               "gave %a but received nothing by termination" Asset.pp
+               slot.sends)
+        else if slot.sent && not slot.virtual_commit then
+          expose 0 slot.principal slot
+            (Format.asprintf
+               "%a still escrowed with %s at termination — neither \
+                completed nor returned"
+               Asset.pp slot.sends (Party.name slot.agent)))
+    slots;
+  match List.rev !exposures with [] -> Ok () | exposures -> Error exposures
+
+let verify_spec ?shared spec =
+  let analysis = Feasibility.analyze ?shared spec in
+  match analysis.Feasibility.sequence with
+  | None -> Ok ()
+  | Some seq -> verify seq
+
+let pp_exposure ppf e =
+  let where =
+    if e.step = 0 then "at termination" else Printf.sprintf "step %d" e.step
+  in
+  if String.equal e.deal "-" then
+    Format.fprintf ppf "%s: %s: %s" where (Party.name e.party) e.reason
+  else
+    Format.fprintf ppf "%s: %s exposed on %a (%a at risk): %s" where
+      (Party.name e.party) Spec.pp_ref
+      { Spec.deal = e.deal; side = e.side }
+      Asset.pp e.at_risk e.reason
+
+let explain exposures =
+  let parties =
+    List.sort_uniq String.compare
+      (List.map (fun e -> Party.name e.party) exposures)
+  in
+  String.concat "\n"
+    (List.concat_map
+       (fun name ->
+         let own =
+           List.filter (fun e -> String.equal (Party.name e.party) name)
+             exposures
+         in
+         Printf.sprintf "party %s is exposed:" name
+         :: List.map (fun e -> Format.asprintf "  %a" pp_exposure e) own)
+       parties)

@@ -1,0 +1,43 @@
+(** Independent safety check over execution sequences (paper §5).
+
+    Replays a synthesized {!Trust_core.Execution.sequence} step by step
+    and checks the protection invariant for every party: whenever an
+    intermediary releases a principal's asset to the counterpart, the
+    principal must either already hold what it expects in return, or
+    the counterpart's asset must still sit with the deal's trusted
+    agent (secured, hence deliverable). Assets handed to a persona the
+    principal explicitly trusts (§4.2.3) count as delivered — misplaced
+    trust is outside the model. At termination no party may be left
+    having given without having received.
+
+    The pass shares no code with the synthesizer: it pattern-matches
+    raw transfers against the spec's commitments, so a bug in
+    {!Trust_core.Execution} cannot vouch for itself. *)
+
+open Exchange
+
+type exposure = {
+  step : int;
+      (** 1-based index of the offending step; [0] for exposures only
+          visible at termination *)
+  party : Party.t;  (** the party left unprotected *)
+  deal : string;
+  side : Spec.side;
+  at_risk : Asset.t;  (** what the party stands to lose *)
+  reason : string;
+}
+
+val verify : Trust_core.Execution.sequence -> (unit, exposure list) result
+(** Replay and check. [Error] lists every exposure found, in step
+    order. *)
+
+val verify_spec : ?shared:bool -> Spec.t -> (unit, exposure list) result
+(** Synthesize the spec's execution sequence (via
+    {!Trust_core.Feasibility.analyze}) and {!verify} it. Infeasible
+    specs verify vacuously — there is no sequence to check. *)
+
+val explain : exposure list -> string
+(** Per-party grouping: one header line per exposed party, one indented
+    line per exposure. *)
+
+val pp_exposure : Format.formatter -> exposure -> unit

@@ -2,7 +2,15 @@ open Exchange
 
 type error = { message : string; loc : Loc.t }
 
-let pp_error ppf e = Format.fprintf ppf "%a: %s" Loc.pp e.loc e.message
+let pp_error ?file ppf e =
+  Format.fprintf ppf "%a: %s" (Loc.pp_located ?file) e.loc e.message
+
+let compare_error a b =
+  match Loc.compare a.loc b.loc with
+  | 0 -> String.compare a.message b.message
+  | c -> c
+
+let sort_errors errors = List.stable_sort compare_error errors
 
 type env = {
   mutable parties : (string * Party.t) list;  (* declaration order, reversed *)
@@ -123,7 +131,7 @@ let program decls =
       | Ast.Principal _ | Ast.Trusted _ | Ast.Deal _ | Ast.Relay _ | Ast.Request _ -> ())
     decls;
   match List.rev env.errors with
-  | _ :: _ as errors -> Error errors
+  | _ :: _ as errors -> Error (sort_errors errors)
   | [] -> (
     match Spec.make ~personas:!personas ~priorities:!priorities ~splits:!splits deals with
     | Ok spec -> Ok spec
@@ -180,34 +188,34 @@ let web decls =
   (if !requests = [] then
      err env Loc.start "a web program needs at least one request");
   match List.rev env.errors with
-  | _ :: _ as errors -> Error errors
+  | _ :: _ as errors -> Error (sort_errors errors)
   | [] -> Ok { trusts = !trusts; relays = !relays; requests = !requests }
 
-let render_errors errors =
-  String.concat "\n" (List.map (fun e -> Format.asprintf "%a" pp_error e) errors)
+let render_errors ?file errors =
+  String.concat "\n" (List.map (fun e -> Format.asprintf "%a" (pp_error ?file) e) errors)
 
-let from_string src =
+let from_string ?file src =
   match Parser.parse src with
-  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Error e -> Error (Format.asprintf "%a" (Parser.pp_error ?file) e)
   | Ok ast -> (
     match program ast with
     | Ok spec -> Ok spec
-    | Error errors -> Error (render_errors errors))
+    | Error errors -> Error (render_errors ?file errors))
 
 let from_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | src -> from_string src
+  | src -> from_string ~file:path src
   | exception Sys_error message -> Error message
 
-let web_from_string src =
+let web_from_string ?file src =
   match Parser.parse src with
-  | Error e -> Error (Format.asprintf "%a" Parser.pp_error e)
+  | Error e -> Error (Format.asprintf "%a" (Parser.pp_error ?file) e)
   | Ok ast -> (
     match web ast with
     | Ok w -> Ok w
-    | Error errors -> Error (render_errors errors))
+    | Error errors -> Error (render_errors ?file errors))
 
 let web_from_file path =
   match In_channel.with_open_text path In_channel.input_all with
-  | src -> web_from_string src
+  | src -> web_from_string ~file:path src
   | exception Sys_error message -> Error message

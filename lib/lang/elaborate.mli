@@ -29,12 +29,19 @@ val web : Ast.program -> (web, error list) result
     declarations are rejected (a web's deals come from routing); [trust]
     edges may name trusted agents as trustees. *)
 
-val web_from_string : string -> (web, string) result
+val web_from_string : ?file:string -> string -> (web, string) result
 val web_from_file : string -> (web, string) result
 
-val from_string : string -> (Spec.t, string) result
-(** Parse and elaborate; errors rendered as one human-readable string. *)
+val from_string : ?file:string -> string -> (Spec.t, string) result
+(** Parse and elaborate; errors rendered as one human-readable string,
+    one per line, sorted by source location, each prefixed
+    [file:line:col] (or [line:col] when no [file] is given). *)
 
 val from_file : string -> (Spec.t, string) result
+(** Like {!from_string} with [?file] set to [path], so errors carry the
+    file name. *)
 
-val pp_error : Format.formatter -> error -> unit
+val pp_error : ?file:string -> Format.formatter -> error -> unit
+
+val sort_errors : error list -> error list
+(** Stable sort by location, then message. *)

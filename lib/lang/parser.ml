@@ -1,6 +1,7 @@
 type error = { message : string; loc : Loc.t }
 
-let pp_error ppf e = Format.fprintf ppf "%a: %s" Loc.pp e.loc e.message
+let pp_error ?file ppf e =
+  Format.fprintf ppf "%a: %s" (Loc.pp_located ?file) e.loc e.message
 
 exception Parse_error of error
 

@@ -22,4 +22,5 @@ type error = { message : string; loc : Loc.t }
 val parse : string -> (Ast.program, error) result
 (** Lex and parse. Lexer errors are reported through the same type. *)
 
-val pp_error : Format.formatter -> error -> unit
+val pp_error : ?file:string -> Format.formatter -> error -> unit
+(** Render as [file:line:col: message] ([line:col] without [file]). *)

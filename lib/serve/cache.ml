@@ -87,10 +87,25 @@ let entry_equal a b =
   && Protocol.equal_roles a.protocol b.protocol
 
 let verify t spec cached =
-  match (cached, fresh t.policy spec) with
+  (match (cached, fresh t.policy spec) with
   | Ok c, Ok f when entry_equal c f -> ()
   | Error a, Error b when String.equal a b -> ()
-  | (Ok _ | Error _), _ -> raise (Divergence (Shape.hash_hex spec))
+  | (Ok _ | Error _), _ -> raise (Divergence (Shape.hash_hex spec)));
+  (* Independent safety pass: replay the cached entry's execution
+     sequence and re-check the protection invariant for every party. *)
+  match cached with
+  | Error _ -> ()
+  | Ok c -> (
+    match
+      Trust_analyze.Verifier.verify_spec ~shared:t.policy.shared c.split_spec
+    with
+    | Ok () -> ()
+    | Error exposures ->
+      raise
+        (Divergence
+           (Printf.sprintf "%s: unsafe execution sequence:\n%s"
+              (Shape.hash_hex spec)
+              (Trust_analyze.Verifier.explain exposures))))
 
 let synthesize t spec =
   if not (Shape.cacheable spec) then begin

@@ -35,7 +35,10 @@ type entry = {
 
 exception Divergence of string
 (** Raised (with the spec's shape hash) when verification finds a hit
-    that differs from fresh synthesis — a cache-correctness bug. *)
+    that differs from fresh synthesis — a cache-correctness bug — or
+    when the {!Trust_analyze.Verifier} safety pass finds a protection
+    exposure in the cached entry's execution sequence (the message then
+    also carries the per-party exposure explanation). *)
 
 type t
 

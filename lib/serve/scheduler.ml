@@ -46,6 +46,7 @@ type recorders = {
   settled : Metrics.counter;
   expired : Metrics.counter;
   aborted : Metrics.counter;
+  lint_rejected : Metrics.counter;
   retried_c : Metrics.counter;
   cache_hits : Metrics.counter;
   cache_misses : Metrics.counter;
@@ -62,6 +63,7 @@ let recorders metrics =
         settled = Metrics.counter m ~help:"sessions that reached every preferred outcome" "serve_sessions_settled_total";
         expired = Metrics.counter m ~help:"sessions unwound by the escrow deadline" "serve_sessions_expired_total";
         aborted = Metrics.counter m ~help:"sessions whose synthesis failed" "serve_sessions_aborted_total";
+        lint_rejected = Metrics.counter m ~help:"sessions rejected by the admission linter" "serve_sessions_lint_rejected_total";
         retried_c = Metrics.counter m ~help:"drop-stalled sessions retried once" "serve_sessions_retried_total";
         cache_hits = Metrics.counter m ~help:"protocol cache hits" "serve_cache_hits_total";
         cache_misses = Metrics.counter m ~help:"protocol cache misses or bypasses" "serve_cache_misses_total";
@@ -146,6 +148,27 @@ let run ?metrics cfg cache sessions =
       let lane = least_loaded () in
       session.Session.started_at <- lanes.(lane);
       Session.transition session Session.Synthesizing;
+      (* Admission lint: structural (cheap) rules only — error-level
+         diagnostics abort the session before any synthesis work. *)
+      let lint_errors =
+        List.filter
+          (fun d ->
+            d.Trust_analyze.Diagnostic.severity = Trust_analyze.Diagnostic.Error)
+          (Trust_analyze.Lint.check_spec ~deep:false session.Session.spec)
+      in
+      (match lint_errors with
+      | first :: _ ->
+        Session.transition session
+          (Session.Aborted
+             (Printf.sprintf "lint: [%s] %s"
+                (Trust_analyze.Diagnostic.code_id first.Trust_analyze.Diagnostic.code)
+                first.Trust_analyze.Diagnostic.message));
+        (* an admission slot is never free, even to reject *)
+        session.Session.ticks <- 1;
+        record rec_opt (fun r ->
+            Metrics.incr r.lint_rejected;
+            Metrics.incr r.aborted)
+      | [] ->
       let verdict, outcome = Cache.synthesize cache session.Session.spec in
       session.Session.cache_hit <- outcome = `Hit;
       record rec_opt (fun r ->
@@ -172,7 +195,7 @@ let run ?metrics cfg cache sessions =
           Session.transition session Session.Synthesizing;
           Session.transition session Session.Running;
           Session.transition session (run_once cfg entry policy session ~drops:false rec_opt)
-        | _ -> ()));
+        | _ -> ())));
       (match session.Session.status with
       | Session.Settled -> record rec_opt (fun r -> Metrics.incr r.settled)
       | Session.Expired -> record rec_opt (fun r -> Metrics.incr r.expired)

@@ -102,14 +102,23 @@ let assemble ?(mode = Lockstep) ?(shared = false) ?plan ?(defectors = []) spec =
   let analysis = Feasibility.analyze ~shared split_spec in
   match analysis.Feasibility.sequence with
   | None -> Error "infeasible: no protocol can be synthesized"
-  | Some sequence ->
+  | Some sequence -> (
+    (* Independent safety pass (§5 protection invariant) over every
+       sequence we are about to hand to behaviours: the synthesizer is
+       never its own witness. *)
+    match Trust_analyze.Verifier.verify sequence with
+    | Error exposures ->
+      Error
+        (Printf.sprintf "unsafe execution sequence:\n%s"
+           (Trust_analyze.Verifier.explain exposures))
+    | Ok () ->
     let protocol =
       match mode with
       | Lockstep -> Protocol.synthesize_lockstep ~prologue:(deposit_actions plan) sequence
       | Distributed -> Protocol.synthesize sequence
     in
     let behaviors = behaviors_for ~shared ?plan ~defectors ~mode split_spec protocol in
-    Ok { spec = split_spec; plan; mode; protocol; behaviors }
+    Ok { spec = split_spec; plan; mode; protocol; behaviors })
 
 let config_for cast config =
   let base = Option.value ~default:Engine.default_config config in
