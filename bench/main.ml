@@ -9,6 +9,8 @@
      main.exe --quick         smaller sweeps (CI-friendly)
      main.exe --serve-json    serve-layer throughput benchmark, JSON on stdout
                               (the BENCH_serve.json baseline)
+     main.exe --parallel-json multicore scaling sweep over --jobs 1/2/4/8, JSON
+                              on stdout (the BENCH_parallel.json baseline)
 *)
 
 open Exchange
@@ -634,6 +636,62 @@ let serve_json () =
     outcome.Service.stats.Trust_serve.Scheduler.makespan
     outcome.Service.config.Service.concurrency
 
+(* Multicore scaling: the same workload at 1/2/4/8 worker domains.
+   Real speedup is hardware-dependent (the [cores] field records what
+   this host offers); what the suite asserts is the determinism
+   contract — every domain count produces the identical per-session
+   outcome digest. The committed baseline lives in BENCH_parallel.json. *)
+
+let parallel_json () =
+  let module Service = Trust_serve.Service in
+  let module Session = Trust_serve.Session in
+  let sessions = if !quick then 200 else 1000 in
+  let outcome_digest (outcome : Service.outcome) =
+    let line (s : Session.t) =
+      Printf.sprintf "%d:%s:%d:%d:%d" s.Session.id
+        (Session.status_label s.Session.status)
+        s.Session.ticks s.Session.events s.Session.attempts
+    in
+    Printf.sprintf "%016Lx"
+      (Trust_serve.Shape.fnv1a
+         (String.concat "\n" (List.map line outcome.Service.sessions)))
+  in
+  let run jobs =
+    let config =
+      { Service.default with Service.sessions; seed = 42L; jobs; drop_rate = 0.02 }
+    in
+    (* warm once so the measured run prices a hot allocator and a
+       populated protocol cache's steady state, then measure *)
+    ignore (Service.run config);
+    let outcome = Service.run config in
+    let wall = outcome.Service.wall_seconds in
+    let per_sec = if wall > 0. then float_of_int sessions /. wall else 0. in
+    (jobs, wall, per_sec, outcome_digest outcome)
+  in
+  let runs = List.map run [ 1; 2; 4; 8 ] in
+  let base_per_sec =
+    match runs with (_, _, per_sec, _) :: _ -> per_sec | [] -> 0.
+  in
+  let digests = List.map (fun (_, _, _, d) -> d) runs in
+  let digests_match =
+    match digests with [] -> true | d :: rest -> List.for_all (String.equal d) rest
+  in
+  let entries =
+    List.map
+      (fun (jobs, wall, per_sec, digest) ->
+        Printf.sprintf
+          "{\"jobs\":%d,\"wall_seconds\":%.4f,\"sessions_per_sec\":%.1f,\"speedup\":%.2f,\"digest\":\"%s\"}"
+          jobs wall per_sec
+          (if base_per_sec > 0. then per_sec /. base_per_sec else 0.)
+          digest)
+      runs
+  in
+  Printf.printf
+    "{\"bench\":\"serve_parallel_scaling\",\"sessions\":%d,\"seed\":42,\"drop_rate\":0.02,\"cores\":%d,\"digests_match\":%b,\"runs\":[%s]}\n"
+    sessions
+    (Domain.recommended_domain_count ())
+    digests_match (String.concat "," entries)
+
 (* driver *)
 
 let experiments =
@@ -657,6 +715,10 @@ let () =
   if List.mem "--quick" args then quick := true;
   if List.mem "--serve-json" args then begin
     serve_json ();
+    exit 0
+  end;
+  if List.mem "--parallel-json" args then begin
+    parallel_json ();
     exit 0
   end;
   let table =

@@ -452,13 +452,16 @@ let route_cmd =
 (* batch *)
 
 let batch_cmd =
-  let run sessions seed concurrency mode density drop_rate defect_every no_rescue verify json =
+  let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify json =
     let module Service = Trust_serve.Service in
     if sessions < 0 then (
       prerr_endline "trustseq: --sessions must be non-negative";
       exit 2);
     if concurrency < 1 then (
       prerr_endline "trustseq: --concurrency must be at least 1";
+      exit 2);
+    if jobs < 1 then (
+      prerr_endline "trustseq: --jobs must be at least 1";
       exit 2);
     if drop_rate < 0. || drop_rate > 1. then (
       prerr_endline "trustseq: --drop-rate must lie in [0, 1]";
@@ -474,6 +477,7 @@ let batch_cmd =
         Service.sessions;
         seed = Int64.of_int seed;
         concurrency;
+        jobs;
         mode;
         mix = { Workload.Gen.default_mix with Workload.Gen.trust_density = density };
         rescue = not no_rescue;
@@ -485,9 +489,11 @@ let batch_cmd =
     let outcome = Service.run config in
     if json then print_string (Service.json outcome)
     else Format.printf "%a" Service.report outcome;
-    (* wall-clock throughput goes to stderr so stdout stays a
-       byte-identical snapshot across runs with the same seed *)
+    (* wall-clock throughput and timing telemetry (the volatile pool
+       gauges) go to stderr so stdout stays a byte-identical snapshot
+       across runs with the same seed, at any --jobs *)
     prerr_endline (Service.wall_line outcome);
+    prerr_string (Trust_serve.Metrics.volatile_text outcome.Service.metrics);
     0
   in
   let sessions =
@@ -502,6 +508,15 @@ let batch_cmd =
     Arg.(
       value & opt int 8
       & info [ "concurrency" ] ~docv:"LANES" ~doc:"Virtual scheduler lanes (bounded concurrency).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing sessions in parallel. The snapshot (verdicts, traces, \
+             metrics, makespan) is bit-for-bit identical at any value; only wall-clock time and \
+             the serve_pool_* gauges change.")
   in
   let mode =
     Arg.(
@@ -549,7 +564,7 @@ let batch_cmd =
          "Run a generated multi-session workload through the concurrent exchange service \
           (protocol cache + batch scheduler) and print a deterministic metrics report.")
     Term.(
-      const run $ sessions $ seed $ concurrency $ mode $ density $ drop_rate $ defect_every
+      const run $ sessions $ seed $ concurrency $ jobs $ mode $ density $ drop_rate $ defect_every
       $ no_rescue $ verify $ json)
 
 (* petri *)

@@ -156,7 +156,7 @@ let deterministic_pick g =
   in
   pick
 
-let run g = run_with ~pick:(deterministic_pick g) g
+let run_rescan g = run_with ~pick:(deterministic_pick g) g
 
 let run_shared g = run_with ~shared:true ~pick:(deterministic_pick g) g
 
@@ -167,55 +167,100 @@ let run_randomized ~choose g =
 (* Incremental reduction: a deletion of edge (c, j) can only enable
    Rule #2 at j, Rule #1 at c (if it keeps another edge) and Rule #1 at
    j's other commitments (whose pre-empting red edge may just have
-   vanished). Everything else is untouched, so a worklist seeded with
-   all nodes and refilled with exactly those neighbours finds every
-   applicable deletion without rescans. *)
+   vanished). Everything else is untouched, so after each deletion only
+   those nodes are re-examined — no rescans.
+
+   Candidates live in three ordered sets mirroring {!deterministic_pick}
+   exactly: Rule #2 conjunctions by index, then Rule #1 commitments with
+   external principals by index, then the remaining Rule #1 commitments.
+   Picking the minimum of the first non-empty set therefore reproduces
+   the rescanning reducer's deletion sequence edge for edge (the paper's
+   Example #1 walkthrough), which {!run_rescan} pins in the tests. *)
+module Int_set = Set.Make (Int)
+
 let run_worklist g =
-  let queue = Queue.create () in
-  let seed () =
-    for cid = 0 to Sequencing.commitment_count g - 1 do
-      Queue.add (`Commitment cid) queue
-    done;
-    for jid = 0 to Sequencing.conjunction_count g - 1 do
-      Queue.add (`Conjunction jid) queue
-    done
+  let ncom = Sequencing.commitment_count g in
+  (* Static: whether the commitment's principal is external (owns no
+     conjunction). Nodes never disappear, only edges do. *)
+  let external_principal =
+    Array.init ncom (fun cid ->
+        let c = Sequencing.commitment g cid in
+        Sequencing.conjunction_of_party g c.Sequencing.principal = None)
   in
-  seed ();
-  let deletions = ref [] and step = ref 0 in
-  let delete rule cid jid =
-    incr step;
-    let neighbours = List.map fst (Sequencing.edges_of_conjunction g jid) in
-    deletions := apply g ~step:!step (rule, cid, jid) :: !deletions;
-    Queue.add (`Commitment cid) queue;
-    Queue.add (`Conjunction jid) queue;
-    List.iter (fun b -> if b <> cid then Queue.add (`Commitment b) queue) neighbours
-  in
-  let check_commitment cid =
-    match Sequencing.edges_of_commitment g cid with
-    | [ (jid, _) ] -> (
-      match Sequencing.red_sibling g ~cid ~jid with
-      | None -> delete Rule1 cid jid
-      | Some _ when Sequencing.plays_own_agent g cid -> delete Rule1_persona cid jid
-      | Some _ -> ())
-    | _ -> ()
-  in
-  let check_conjunction jid =
+  let rule2 = ref Int_set.empty in
+  let rule1_external = ref Int_set.empty and rule1_internal = ref Int_set.empty in
+  (* Which Rule #1 clause admitted the commitment, kept alongside the
+     sets so picking does not re-derive it. *)
+  let clause = Array.make (max 1 ncom) Rule1 in
+  let refresh_conjunction jid =
     match Sequencing.edges_of_conjunction g jid with
-    | [ (cid, _) ] -> delete Rule2 cid jid
-    | _ -> ()
+    | [ _ ] -> rule2 := Int_set.add jid !rule2
+    | _ -> rule2 := Int_set.remove jid !rule2
   in
+  let refresh_commitment cid =
+    let admitted =
+      match Sequencing.edges_of_commitment g cid with
+      | [ (jid, _) ] -> (
+        match Sequencing.red_sibling g ~cid ~jid with
+        | None -> Some Rule1
+        | Some _ when Sequencing.plays_own_agent g cid -> Some Rule1_persona
+        | Some _ -> None)
+      | _ -> None
+    in
+    match admitted with
+    | Some rule ->
+      clause.(cid) <- rule;
+      if external_principal.(cid) then rule1_external := Int_set.add cid !rule1_external
+      else rule1_internal := Int_set.add cid !rule1_internal
+    | None ->
+      if external_principal.(cid) then rule1_external := Int_set.remove cid !rule1_external
+      else rule1_internal := Int_set.remove cid !rule1_internal
+  in
+  for cid = 0 to ncom - 1 do
+    refresh_commitment cid
+  done;
+  for jid = 0 to Sequencing.conjunction_count g - 1 do
+    refresh_conjunction jid
+  done;
+  let target cid =
+    match Sequencing.edges_of_commitment g cid with
+    | [ (jid, _) ] -> jid
+    | _ -> assert false
+  in
+  let next () =
+    match Int_set.min_elt_opt !rule2 with
+    | Some jid -> (
+      match Sequencing.edges_of_conjunction g jid with
+      | [ (cid, _) ] -> Some (Rule2, cid, jid)
+      | _ -> assert false)
+    | None -> (
+      match Int_set.min_elt_opt !rule1_external with
+      | Some cid -> Some (clause.(cid), cid, target cid)
+      | None -> (
+        match Int_set.min_elt_opt !rule1_internal with
+        | Some cid -> Some (clause.(cid), cid, target cid)
+        | None -> None))
+  in
+  let deletions = ref [] and step = ref 0 in
   let rec drain () =
-    match Queue.take_opt queue with
+    match next () with
     | None -> ()
-    | Some (`Commitment cid) ->
-      check_commitment cid;
-      drain ()
-    | Some (`Conjunction jid) ->
-      check_conjunction jid;
+    | Some ((_, cid, jid) as candidate) ->
+      incr step;
+      let neighbours = List.map fst (Sequencing.edges_of_conjunction g jid) in
+      deletions := apply g ~step:!step candidate :: !deletions;
+      refresh_commitment cid;
+      refresh_conjunction jid;
+      List.iter (fun b -> if b <> cid then refresh_commitment b) neighbours;
       drain ()
   in
   drain ();
   finish g !deletions
+
+(* The worklist reducer replays the deterministic strategy incrementally
+   — identical deletion sequence, near-linear instead of quadratic — so
+   it is the default synthesis path. *)
+let run g = run_worklist g
 
 let feasible outcome = outcome.verdict = Feasible
 

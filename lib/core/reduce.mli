@@ -55,7 +55,18 @@ type outcome = {
 
 val run : Sequencing.t -> outcome
 (** Reduce with the deterministic strategy. The graph is mutated;
-    pass a {!Sequencing.copy} to keep the original. *)
+    pass a {!Sequencing.copy} to keep the original. This is the
+    incremental {!run_worklist} reducer — near-linear for bounded
+    conjunction degree, with the same deletion sequence the paper's
+    Example #1 walkthrough follows; {!run_rescan} is the quadratic
+    reference implementation it is property-tested against. *)
+
+val run_rescan : Sequencing.t -> outcome
+(** The original rescanning reducer: recompute every applicable
+    deletion after each step and pick by the deterministic priority.
+    Quadratic; kept as the executable specification ({e test oracle})
+    for {!run}/{!run_worklist}, which must match its verdicts {e and}
+    deletion sequences exactly. *)
 
 val run_randomized : choose:(int -> int) -> Sequencing.t -> outcome
 (** Reduce applying, at each step, a uniformly chosen applicable
@@ -72,13 +83,13 @@ val run_shared : Sequencing.t -> outcome
     ({!Trust_sim.Behavior.escrow}) — for the verdict to be safe. *)
 
 val run_worklist : Sequencing.t -> outcome
-(** Incremental reducer: instead of re-scanning every node after each
-    deletion (quadratic), it re-examines only the nodes a deletion can
-    newly enable — the deleted edge's endpoints and the conjunction's
-    other commitments. Near-linear for bounded conjunction degree; by
-    §4.2.4 confluence the verdict equals {!run}'s (property-tested), but
-    the deletion {e order} is unspecified, so use {!run} when the §5
-    execution sequence matters. *)
+(** Incremental reducer (what {!run} is): instead of re-scanning every
+    node after each deletion (quadratic), it re-examines only the nodes
+    a deletion can newly enable — the deleted edge's endpoints and the
+    conjunction's other commitments. Candidates are kept in ordered
+    sets mirroring the deterministic priority, so the deletion sequence
+    is {e identical} to {!run_rescan}'s (property-tested), including
+    the §5 execution-sequence-bearing order of Example #1. *)
 
 val feasible : outcome -> bool
 

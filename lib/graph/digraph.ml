@@ -1,19 +1,32 @@
+(* Adjacency lists are stored in *reverse* insertion order so that
+   [add_edge] is a cons, not an append; every reader goes through
+   {!succ}/{!pred}, which reverse back to insertion order. Edge
+   membership is a hash table so dense-graph construction is O(E)
+   instead of the former O(E * deg) append-and-scan. *)
 type t = {
   mutable size : int;
-  mutable succs : int list array;
-  mutable preds : int list array;
+  mutable succs : int list array;  (** reverse insertion order *)
+  mutable preds : int list array;  (** reverse insertion order *)
+  edge_set : (int * int, unit) Hashtbl.t;
   mutable n_edges : int;
 }
 
 let create ?(initial_capacity = 16) () =
   let cap = max 1 initial_capacity in
-  { size = 0; succs = Array.make cap []; preds = Array.make cap []; n_edges = 0 }
+  {
+    size = 0;
+    succs = Array.make cap [];
+    preds = Array.make cap [];
+    edge_set = Hashtbl.create (4 * cap);
+    n_edges = 0;
+  }
 
 let copy g =
   {
     size = g.size;
     succs = Array.copy g.succs;
     preds = Array.copy g.preds;
+    edge_set = Hashtbl.copy g.edge_set;
     n_edges = g.n_edges;
   }
 
@@ -49,19 +62,21 @@ let check_node g v =
   if not (mem_node g v) then
     invalid_arg (Printf.sprintf "Digraph: node %d not in graph of size %d" v g.size)
 
-let mem_edge g u v = mem_node g u && mem_node g v && List.mem v g.succs.(u)
+let mem_edge g u v = mem_node g u && mem_node g v && Hashtbl.mem g.edge_set (u, v)
 
 let add_edge g u v =
   check_node g u;
   check_node g v;
-  if not (List.mem v g.succs.(u)) then begin
-    g.succs.(u) <- g.succs.(u) @ [ v ];
-    g.preds.(v) <- g.preds.(v) @ [ u ];
+  if not (Hashtbl.mem g.edge_set (u, v)) then begin
+    Hashtbl.add g.edge_set (u, v) ();
+    g.succs.(u) <- v :: g.succs.(u);
+    g.preds.(v) <- u :: g.preds.(v);
     g.n_edges <- g.n_edges + 1
   end
 
 let remove_edge g u v =
   if mem_edge g u v then begin
+    Hashtbl.remove g.edge_set (u, v);
     g.succs.(u) <- List.filter (fun w -> w <> v) g.succs.(u);
     g.preds.(v) <- List.filter (fun w -> w <> u) g.preds.(v);
     g.n_edges <- g.n_edges - 1
@@ -72,11 +87,11 @@ let edge_count g = g.n_edges
 
 let succ g v =
   check_node g v;
-  g.succs.(v)
+  List.rev g.succs.(v)
 
 let pred g v =
   check_node g v;
-  g.preds.(v)
+  List.rev g.preds.(v)
 
 let out_degree g v = List.length (succ g v)
 let in_degree g v = List.length (pred g v)
@@ -89,7 +104,7 @@ let fold_nodes f g acc =
   loop 0 acc
 
 let fold_edges f g acc =
-  fold_nodes (fun u acc -> List.fold_left (fun acc v -> f u v acc) acc g.succs.(u)) g acc
+  fold_nodes (fun u acc -> List.fold_left (fun acc v -> f u v acc) acc (succ g u)) g acc
 
 let edges g = List.rev (fold_edges (fun u v acc -> (u, v) :: acc) g [])
 let iter_nodes f g = List.iter f (nodes g)
@@ -109,7 +124,7 @@ let topological_sort g =
       indeg.(v) <- indeg.(v) - 1;
       if indeg.(v) = 0 then Queue.add v queue
     in
-    List.iter lower g.succs.(u)
+    List.iter lower (succ g u)
   done;
   if !seen = g.size then Some (List.rev !order) else None
 
@@ -121,7 +136,7 @@ let reachable g start =
   let rec visit v =
     if not (Hashtbl.mem seen v) then begin
       Hashtbl.add seen v ();
-      List.iter visit g.succs.(v)
+      List.iter visit (succ g v)
     end
   in
   visit start;
@@ -170,7 +185,7 @@ let scc g =
     | (v, w :: ws) :: rest ->
       if index.(w) = -1 then begin
         push w;
-        run ((w, g.succs.(w)) :: (v, ws) :: rest)
+        run ((w, succ g w) :: (v, ws) :: rest)
       end
       else begin
         if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w);
@@ -181,7 +196,7 @@ let scc g =
     (fun v ->
       if index.(v) = -1 then begin
         push v;
-        run [ (v, g.succs.(v)) ]
+        run [ (v, succ g v) ]
       end)
     g;
   !components
@@ -237,7 +252,7 @@ let pp ppf g =
   Format.fprintf ppf "@[<v>digraph with %d nodes, %d edges" g.size g.n_edges;
   iter_nodes
     (fun v ->
-      match g.succs.(v) with
+      match succ g v with
       | [] -> ()
       | vs ->
         Format.fprintf ppf "@,%d -> %a" v

@@ -16,31 +16,59 @@ type entry = {
 
 exception Divergence of string
 
-type t = {
-  policy : policy;
-  capacity : int;
+(* The table is sharded by shape hash; each shard is an independent
+   FIFO-evicting map behind its own mutex, so synthesis misses on
+   distinct shapes proceed concurrently from pool workers while every
+   per-shard invariant — hit is fresh-and-verified, negative caching,
+   oldest-insertion eviction — is exactly the unsharded cache's.
+   [fresh] runs {e under} the shard lock: concurrent lookups of one
+   shape serialize, so the first is the single miss and the rest are
+   hits, the same tallies a sequential run produces. *)
+type shard = {
+  lock : Mutex.t;
   table : (string, (entry, string) result) Hashtbl.t;
   order : string Queue.t;
   mutable hits : int;
   mutable misses : int;
-  mutable bypasses : int;
   mutable evictions : int;
 }
 
-let create ?(capacity = 4096) policy =
+type t = {
+  policy : policy;
+  shard_capacity : int;
+  shards : shard array;
+  bypasses : int Atomic.t;
+}
+
+let default_shards = 16
+
+let create ?(capacity = 4096) ?(shards = default_shards) policy =
   if capacity <= 0 then invalid_arg "Cache.create: capacity must be positive";
+  if shards <= 0 then invalid_arg "Cache.create: shards must be positive";
   {
     policy;
-    capacity;
-    table = Hashtbl.create 64;
-    order = Queue.create ();
-    hits = 0;
-    misses = 0;
-    bypasses = 0;
-    evictions = 0;
+    (* ceiling division: total residency is still >= capacity, and
+       [shards = 1] reproduces the unsharded cache exactly *)
+    shard_capacity = (capacity + shards - 1) / shards;
+    shards =
+      Array.init shards (fun _ ->
+          {
+            lock = Mutex.create ();
+            table = Hashtbl.create 64;
+            order = Queue.create ();
+            hits = 0;
+            misses = 0;
+            evictions = 0;
+          });
+    bypasses = Atomic.make 0;
   }
 
 let policy t = t.policy
+
+let shard_count t = Array.length t.shards
+
+let shard_of t key =
+  (Int64.to_int (Shape.fnv1a key) land max_int) mod Array.length t.shards
 
 let merge_plans = function
   | [] -> None
@@ -109,36 +137,53 @@ let verify t spec cached =
 
 let synthesize t spec =
   if not (Shape.cacheable spec) then begin
-    t.bypasses <- t.bypasses + 1;
+    ignore (Atomic.fetch_and_add t.bypasses 1);
     (fresh t.policy spec, `Bypass)
   end
-  else
+  else begin
     let key = Shape.encode spec in
-    match Hashtbl.find_opt t.table key with
-    | Some cached ->
-      t.hits <- t.hits + 1;
-      if t.policy.verify then verify t spec cached;
-      (cached, `Hit)
-    | None ->
-      let value = fresh t.policy spec in
-      if Hashtbl.length t.table >= t.capacity then begin
-        match Queue.take_opt t.order with
-        | Some victim ->
-          Hashtbl.remove t.table victim;
-          t.evictions <- t.evictions + 1
-        | None -> ()
-      end;
-      Hashtbl.add t.table key value;
-      Queue.add key t.order;
-      t.misses <- t.misses + 1;
-      (value, `Miss)
+    let shard = t.shards.(shard_of t key) in
+    Mutex.lock shard.lock;
+    (* [verify] and [fresh] may raise (Divergence, synthesis bugs);
+       never leave the shard locked behind them. *)
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock shard.lock)
+      (fun () ->
+        match Hashtbl.find_opt shard.table key with
+        | Some cached ->
+          shard.hits <- shard.hits + 1;
+          if t.policy.verify then verify t spec cached;
+          (cached, `Hit)
+        | None ->
+          let value = fresh t.policy spec in
+          if Hashtbl.length shard.table >= t.shard_capacity then begin
+            match Queue.take_opt shard.order with
+            | Some victim ->
+              Hashtbl.remove shard.table victim;
+              shard.evictions <- shard.evictions + 1
+            | None -> ()
+          end;
+          Hashtbl.add shard.table key value;
+          Queue.add key shard.order;
+          shard.misses <- shard.misses + 1;
+          (value, `Miss))
+  end
 
-let hits t = t.hits
-let misses t = t.misses
-let bypasses t = t.bypasses
-let evictions t = t.evictions
-let size t = Hashtbl.length t.table
+let sum_shards t f =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.lock;
+      let v = f shard in
+      Mutex.unlock shard.lock;
+      acc + v)
+    0 t.shards
+
+let hits t = sum_shards t (fun s -> s.hits)
+let misses t = sum_shards t (fun s -> s.misses)
+let bypasses t = Atomic.get t.bypasses
+let evictions t = sum_shards t (fun s -> s.evictions)
+let size t = sum_shards t (fun s -> Hashtbl.length s.table)
 
 let hit_rate t =
-  let looked = t.hits + t.misses in
-  if looked = 0 then 0. else float_of_int t.hits /. float_of_int looked
+  let looked = hits t + misses t in
+  if looked = 0 then 0. else float_of_int (hits t) /. float_of_int looked

@@ -42,13 +42,23 @@ exception Divergence of string
 
 type t
 
-val create : ?capacity:int -> policy -> t
+val create : ?capacity:int -> ?shards:int -> policy -> t
 (** [capacity] (default 4096) bounds resident entries; the oldest
     insertion is evicted first. Infeasible verdicts are cached too
     (negative caching), so repeated unrescuable shapes are rejected
-    without re-analysis. *)
+    without re-analysis.
+
+    The table is split into [shards] (default 16) independent shards
+    by spec-shape hash, each behind its own mutex, so pool workers
+    synthesizing {e distinct} shapes never contend while lookups of
+    the same shape serialize (the first is the lone miss, the rest are
+    hits — the same tallies as a sequential run). Eviction is FIFO
+    {e per shard} with per-shard capacity ⌈capacity/shards⌉;
+    [~shards:1] reproduces the unsharded cache exactly. *)
 
 val policy : t -> policy
+
+val shard_count : t -> int
 
 val synthesize : t -> Spec.t -> (entry, string) result * [ `Hit | `Miss | `Bypass ]
 (** Memoized synthesis. [`Bypass] means the spec was not {!Shape.cacheable}

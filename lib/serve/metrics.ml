@@ -1,38 +1,61 @@
-type counter = { c_name : string; c_help : string; mutable count : int }
+(* Domain-safe registry: counters are a single [Atomic.t] (lock-free
+   increments from pool workers), histograms and gauges take a
+   per-metric mutex, and registration takes the registry mutex. Reads
+   for snapshots are unsynchronized-by-design *after* the scheduler has
+   joined its workers; concurrent snapshots would only ever see a
+   momentarily-torn histogram, never a crash. *)
+
+type counter = { c_name : string; c_help : string; count : int Atomic.t }
 
 type histogram = {
   h_name : string;
   h_help : string;
+  h_lock : Mutex.t;
   bounds : int array;  (** strictly increasing upper bounds, [+Inf] implicit *)
   counts : int array;  (** per-bucket (non-cumulative); length = bounds + 1 *)
   mutable sum : int;
   mutable total : int;
 }
 
-type gauge = { g_name : string; g_help : string; mutable v : float }
+(* [g_volatile] marks timing telemetry (queue high-water marks, wait
+   counts): real registry series, but excluded from the deterministic
+   {!to_text}/{!to_json} snapshots and rendered by {!volatile_text}
+   instead — the same quarantine the service applies to wall-clock. *)
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_lock : Mutex.t;
+  g_volatile : bool;
+  mutable v : float;
+}
 
 type metric = Counter of counter | Histogram of histogram | Gauge of gauge
 
-type t = { table : (string, metric) Hashtbl.t }
+type t = { lock : Mutex.t; table : (string, metric) Hashtbl.t }
 
-let create () = { table = Hashtbl.create 32 }
+let create () = { lock = Mutex.create (); table = Hashtbl.create 32 }
 
 let default_buckets = [ 1; 2; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000 ]
 
 let register t name metric =
-  match Hashtbl.find_opt t.table name with
-  | None ->
-    Hashtbl.add t.table name metric;
-    metric
-  | Some existing -> existing
+  Mutex.lock t.lock;
+  let resolved =
+    match Hashtbl.find_opt t.table name with
+    | None ->
+      Hashtbl.add t.table name metric;
+      metric
+    | Some existing -> existing
+  in
+  Mutex.unlock t.lock;
+  resolved
 
 let counter t ?(help = "") name =
-  match register t name (Counter { c_name = name; c_help = help; count = 0 }) with
+  match register t name (Counter { c_name = name; c_help = help; count = Atomic.make 0 }) with
   | Counter c -> c
   | Histogram _ | Gauge _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let value c = c.count
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.count by)
+let value c = Atomic.get c.count
 
 let histogram t ?(help = "") ?(buckets = default_buckets) name =
   (match buckets with
@@ -49,6 +72,7 @@ let histogram t ?(help = "") ?(buckets = default_buckets) name =
       {
         h_name = name;
         h_help = help;
+        h_lock = Mutex.create ();
         bounds = Array.of_list buckets;
         counts = Array.make (List.length buckets + 1) 0;
         sum = 0;
@@ -62,19 +86,29 @@ let histogram t ?(help = "") ?(buckets = default_buckets) name =
 let observe h v =
   let rec slot i = if i >= Array.length h.bounds || v <= h.bounds.(i) then i else slot (i + 1) in
   let i = slot 0 in
+  Mutex.lock h.h_lock;
   h.counts.(i) <- h.counts.(i) + 1;
   h.sum <- h.sum + v;
-  h.total <- h.total + 1
+  h.total <- h.total + 1;
+  Mutex.unlock h.h_lock
 
-let gauge t ?(help = "") name v =
-  match register t name (Gauge { g_name = name; g_help = help; v }) with
-  | Gauge g -> g.v <- v
+let gauge t ?(help = "") ?(volatile = false) name v =
+  match
+    register t name
+      (Gauge
+         { g_name = name; g_help = help; g_lock = Mutex.create (); g_volatile = volatile; v })
+  with
+  | Gauge g ->
+    Mutex.lock g.g_lock;
+    g.v <- v;
+    Mutex.unlock g.g_lock
   | Counter _ | Histogram _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
 
 let sorted t =
-  List.sort
-    (fun (a, _) (b, _) -> String.compare a b)
-    (Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [])
+  Mutex.lock t.lock;
+  let snapshot = Hashtbl.fold (fun name m acc -> (name, m) :: acc) t.table [] in
+  Mutex.unlock t.lock;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) snapshot
 
 let to_text t =
   let buf = Buffer.create 1024 in
@@ -84,7 +118,8 @@ let to_text t =
       match metric with
       | Counter c ->
         help name c.c_help;
-        Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.count)
+        Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Atomic.get c.count))
+      | Gauge g when g.g_volatile -> ()
       | Gauge g ->
         help name g.g_help;
         Buffer.add_string buf (Printf.sprintf "%s %.6f\n" name g.v)
@@ -109,10 +144,14 @@ let to_json t =
   let metrics = sorted t in
   let pick f = List.filter_map f metrics in
   let counters =
-    pick (function name, Counter c -> Some (Printf.sprintf "%S:%d" name c.count) | _ -> None)
+    pick (function
+      | name, Counter c -> Some (Printf.sprintf "%S:%d" name (Atomic.get c.count))
+      | _ -> None)
   in
   let gauges =
-    pick (function name, Gauge g -> Some (Printf.sprintf "%S:%.6f" name g.v) | _ -> None)
+    pick (function
+      | name, Gauge g when not g.g_volatile -> Some (Printf.sprintf "%S:%.6f" name g.v)
+      | _ -> None)
   in
   let histograms =
     pick (function
@@ -136,3 +175,14 @@ let to_json t =
   in
   Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":{%s}}"
     (String.concat "," counters) (String.concat "," gauges) (String.concat "," histograms)
+
+let volatile_text t =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, metric) ->
+      match metric with
+      | Gauge g when g.g_volatile ->
+        Buffer.add_string buf (Printf.sprintf "%s %.6f\n" name g.v)
+      | Gauge _ | Counter _ | Histogram _ -> ())
+    (sorted t);
+  Buffer.contents buf

@@ -7,7 +7,17 @@
     counts), so two runs with the same seed produce byte-identical
     snapshots. Wall-clock throughput is deliberately kept out of the
     registry — see {!Service.wall_line}. Snapshots render metrics
-    sorted by name, never in hash-table order. *)
+    sorted by name, never in hash-table order.
+
+    The registry is {e domain-safe}: counters are a single [Atomic.t]
+    (lock-free increments), histograms and gauges are mutex-guarded,
+    and registration is serialized on the registry mutex, so pool
+    workers ({!Pool}) may record concurrently. Counter increments and
+    histogram observations commute, which is what keeps snapshots
+    byte-identical at any [--jobs]: the {e set} of recorded values is
+    determined by the seed, and the order they land in is not
+    observable. Take snapshots after the recording domains have been
+    joined. *)
 
 type t
 type counter
@@ -29,14 +39,25 @@ val histogram : t -> ?help:string -> ?buckets:int list -> string -> histogram
 
 val observe : histogram -> int -> unit
 
-val gauge : t -> ?help:string -> string -> float -> unit
-(** Set a gauge, registering it on first use. *)
+val gauge : t -> ?help:string -> ?volatile:bool -> string -> float -> unit
+(** Set a gauge, registering it on first use. [volatile] (default
+    false) marks timing telemetry — queue high-water marks, wait
+    counts — whose value depends on scheduling, not on the seed: it
+    stays a real registry series but is excluded from {!to_text} and
+    {!to_json} (which must stay byte-identical run-to-run) and is
+    rendered by {!volatile_text} instead, the same quarantine the
+    service applies to wall-clock throughput. *)
 
 val to_text : t -> string
 (** Prometheus-flavoured exposition: [# HELP] lines, counter samples,
     [_bucket{le="…"}]/[_sum]/[_count] for histograms, gauges with fixed
-    6-decimal formatting. *)
+    6-decimal formatting. Volatile gauges are omitted. *)
 
 val to_json : t -> string
 (** The same snapshot as one JSON object:
-    [{"counters":{…},"gauges":{…},"histograms":{…}}], keys sorted. *)
+    [{"counters":{…},"gauges":{…},"histograms":{…}}], keys sorted.
+    Volatile gauges are omitted. *)
+
+val volatile_text : t -> string
+(** The volatile gauges only, [name value] per line, sorted — for
+    stderr, next to the wall-clock line. Empty when none were set. *)

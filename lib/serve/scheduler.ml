@@ -4,6 +4,7 @@ module Audit = Trust_sim.Audit
 
 type config = {
   concurrency : int;
+  jobs : int;
   session_deadline : int;
   latency : int;
   max_events : int;
@@ -15,6 +16,7 @@ type config = {
 let default_config =
   {
     concurrency = 8;
+    jobs = 1;
     session_deadline = 1000;
     latency = 1;
     max_events = 100_000;
@@ -43,6 +45,7 @@ let virtual_duration (result : Engine.result) =
   List.fold_left (fun acc (d : Engine.delivery) -> max acc d.Engine.at) 0 result.Engine.log
 
 type recorders = {
+  admitted : Metrics.counter;
   settled : Metrics.counter;
   expired : Metrics.counter;
   aborted : Metrics.counter;
@@ -60,6 +63,7 @@ let recorders metrics =
   Option.map
     (fun m ->
       {
+        admitted = Metrics.counter m ~help:"sessions admitted" "serve_sessions_total";
         settled = Metrics.counter m ~help:"sessions that reached every preferred outcome" "serve_sessions_settled_total";
         expired = Metrics.counter m ~help:"sessions unwound by the escrow deadline" "serve_sessions_expired_total";
         aborted = Metrics.counter m ~help:"sessions whose synthesis failed" "serve_sessions_aborted_total";
@@ -125,83 +129,120 @@ let run_once cfg (entry : Cache.entry) policy (session : Session.t) ~drops rec_o
   if report.Audit.all_preferred && result.Engine.stalled = [] then Session.Settled
   else Session.Expired
 
+(* The whole lifecycle of one session — admission lint, synthesis
+   through the cache, engine run(s), classification — with no shared
+   state beyond the (sharded) cache, the (atomic) metrics and the
+   [retried] tally. Sessions are independent end-to-end and the drop
+   schedule is keyed on (seed, session, seq), so this runs bit-for-bit
+   identically from any domain in any order. *)
+let process_session cfg cache policy rec_opt retried (session : Session.t) =
+  record rec_opt (fun r -> Metrics.incr r.admitted);
+  Session.transition session Session.Synthesizing;
+  (* Admission lint: structural (cheap) rules only — error-level
+     diagnostics abort the session before any synthesis work. *)
+  let lint_errors =
+    List.filter
+      (fun d -> d.Trust_analyze.Diagnostic.severity = Trust_analyze.Diagnostic.Error)
+      (Trust_analyze.Lint.check_spec ~deep:false session.Session.spec)
+  in
+  (match lint_errors with
+  | first :: _ ->
+    Session.transition session
+      (Session.Aborted
+         (Printf.sprintf "lint: [%s] %s"
+            (Trust_analyze.Diagnostic.code_id first.Trust_analyze.Diagnostic.code)
+            first.Trust_analyze.Diagnostic.message));
+    (* an admission slot is never free, even to reject *)
+    session.Session.ticks <- 1;
+    record rec_opt (fun r ->
+        Metrics.incr r.lint_rejected;
+        Metrics.incr r.aborted)
+  | [] ->
+    let verdict, outcome = Cache.synthesize cache session.Session.spec in
+    session.Session.cache_hit <- outcome = `Hit;
+    record rec_opt (fun r ->
+        match outcome with
+        | `Hit -> Metrics.incr r.cache_hits
+        | `Miss | `Bypass -> Metrics.incr r.cache_misses);
+    (match verdict with
+    | Error e ->
+      Session.transition session (Session.Aborted e);
+      (* an admission slot is never free, even to reject *)
+      session.Session.ticks <- 1;
+      record rec_opt (fun r -> Metrics.incr r.aborted)
+    | Ok entry -> (
+      Session.transition session Session.Running;
+      let status = run_once cfg entry policy session ~drops:true rec_opt in
+      Session.transition session status;
+      match status with
+      | Session.Expired when cfg.retry && cfg.drop_rate > 0. ->
+        (* Stalled under injected drops: requeue once and retransmit
+           over a reliable path (drops off). A second expiry sticks. *)
+        ignore (Atomic.fetch_and_add retried 1);
+        record rec_opt (fun r -> Metrics.incr r.retried_c);
+        Session.transition session Session.Queued;
+        Session.transition session Session.Synthesizing;
+        Session.transition session Session.Running;
+        Session.transition session (run_once cfg entry policy session ~drops:false rec_opt)
+      | _ -> ())));
+  match session.Session.status with
+  | Session.Settled -> record rec_opt (fun r -> Metrics.incr r.settled)
+  | Session.Expired -> record rec_opt (fun r -> Metrics.incr r.expired)
+  | _ -> ()
+
 let run ?metrics cfg cache sessions =
   if cfg.concurrency < 1 then invalid_arg "Scheduler.run: concurrency must be >= 1";
+  if cfg.jobs < 1 then invalid_arg "Scheduler.run: jobs must be >= 1";
   let rec_opt = recorders metrics in
-  (match metrics with
-  | Some m ->
-    ignore (Metrics.counter m ~help:"sessions admitted" "serve_sessions_total")
-  | None -> ());
+  let retried = Atomic.make 0 in
+  let policy = Cache.policy cache in
+  let process session = process_session cfg cache policy rec_opt retried session in
+  (* Phase 1 — execute. Every session owns its mutable record, the
+     cache is sharded behind per-shard locks and the metrics are
+     atomic, so whole sessions run in parallel; [Pool.shutdown]'s join
+     publishes their writes before the merge reads them. *)
+  if cfg.jobs = 1 then List.iter process sessions
+  else begin
+    let pool = Pool.create ~jobs:cfg.jobs () in
+    let submit_error =
+      try
+        List.iter (fun session -> Pool.submit pool (fun () -> process session)) sessions;
+        None
+      with e -> Some e
+    in
+    Pool.shutdown pool;
+    (match submit_error with Some e -> raise e | None -> ());
+    match metrics with
+    | Some m ->
+      let s = Pool.stats pool in
+      Metrics.gauge m ~help:"pool worker domains" "serve_pool_workers" (float_of_int s.Pool.workers);
+      (* queue depth and wait counts depend on OS scheduling, not on
+         the seed — volatile keeps them out of the deterministic
+         snapshot (rendered on stderr instead) *)
+      Metrics.gauge m ~help:"work-queue high-water mark" ~volatile:true "serve_pool_queue_peak"
+        (float_of_int s.Pool.peak_depth);
+      Metrics.gauge m ~help:"idle workers that blocked on an empty queue" ~volatile:true
+        "serve_pool_worker_waits" (float_of_int s.Pool.worker_waits);
+      Metrics.gauge m ~help:"submissions that blocked on a full queue" ~volatile:true
+        "serve_pool_submit_waits" (float_of_int s.Pool.submit_waits)
+    | None -> ()
+  end;
+  (* Phase 2 — merge in submission order. Lane placement is pure
+     bookkeeping over per-session virtual durations, so replaying it
+     sequentially here gives the identical placement, makespan and
+     metrics at any [jobs]. *)
   let lanes = Array.make cfg.concurrency 0 in
   let least_loaded () =
     let best = ref 0 in
     Array.iteri (fun i t -> if t < lanes.(!best) then best := i) lanes;
     !best
   in
-  let retried = ref 0 in
-  let policy = Cache.policy cache in
   List.iter
     (fun (session : Session.t) ->
-      (match metrics with
-      | Some m -> Metrics.incr (Metrics.counter m "serve_sessions_total")
-      | None -> ());
       let lane = least_loaded () in
       session.Session.started_at <- lanes.(lane);
-      Session.transition session Session.Synthesizing;
-      (* Admission lint: structural (cheap) rules only — error-level
-         diagnostics abort the session before any synthesis work. *)
-      let lint_errors =
-        List.filter
-          (fun d ->
-            d.Trust_analyze.Diagnostic.severity = Trust_analyze.Diagnostic.Error)
-          (Trust_analyze.Lint.check_spec ~deep:false session.Session.spec)
-      in
-      (match lint_errors with
-      | first :: _ ->
-        Session.transition session
-          (Session.Aborted
-             (Printf.sprintf "lint: [%s] %s"
-                (Trust_analyze.Diagnostic.code_id first.Trust_analyze.Diagnostic.code)
-                first.Trust_analyze.Diagnostic.message));
-        (* an admission slot is never free, even to reject *)
-        session.Session.ticks <- 1;
-        record rec_opt (fun r ->
-            Metrics.incr r.lint_rejected;
-            Metrics.incr r.aborted)
-      | [] ->
-      let verdict, outcome = Cache.synthesize cache session.Session.spec in
-      session.Session.cache_hit <- outcome = `Hit;
-      record rec_opt (fun r ->
-          match outcome with
-          | `Hit -> Metrics.incr r.cache_hits
-          | `Miss | `Bypass -> Metrics.incr r.cache_misses);
-      (match verdict with
-      | Error e ->
-        Session.transition session (Session.Aborted e);
-        (* an admission slot is never free, even to reject *)
-        session.Session.ticks <- 1;
-        record rec_opt (fun r -> Metrics.incr r.aborted)
-      | Ok entry -> (
-        Session.transition session Session.Running;
-        let status = run_once cfg entry policy session ~drops:true rec_opt in
-        Session.transition session status;
-        match status with
-        | Session.Expired when cfg.retry && cfg.drop_rate > 0. ->
-          (* Stalled under injected drops: requeue once and retransmit
-             over a reliable path (drops off). A second expiry sticks. *)
-          incr retried;
-          record rec_opt (fun r -> Metrics.incr r.retried_c);
-          Session.transition session Session.Queued;
-          Session.transition session Session.Synthesizing;
-          Session.transition session Session.Running;
-          Session.transition session (run_once cfg entry policy session ~drops:false rec_opt)
-        | _ -> ())));
-      (match session.Session.status with
-      | Session.Settled -> record rec_opt (fun r -> Metrics.incr r.settled)
-      | Session.Expired -> record rec_opt (fun r -> Metrics.incr r.expired)
-      | _ -> ());
       session.Session.finished_at <- session.Session.started_at + session.Session.ticks;
       lanes.(lane) <- session.Session.finished_at)
     sessions;
   let makespan = Array.fold_left max 0 lanes in
-  { makespan; retried = !retried }
+  { makespan; retried = Atomic.get retried }

@@ -8,6 +8,18 @@
     clocks, makespan and every metric are pure functions of the inputs
     — two runs with the same sessions and seed are byte-identical.
 
+    Real parallelism is orthogonal to the virtual lanes: with
+    [jobs > 1] whole sessions execute on a {!Pool} of worker domains
+    (each session's mutable record is owned by exactly one worker, the
+    cache is sharded, the metrics are atomic), and lane placement is
+    replayed sequentially in submission order {e after} the pool joins.
+    Verdicts, traces, drop schedules, metrics and makespan are
+    therefore bit-for-bit identical at any [jobs]; in the snapshot only
+    the [serve_pool_workers] gauge varies with it, and the
+    timing-dependent pool telemetry (queue high-water mark, wait
+    counts) is registered as {e volatile} gauges that never enter the
+    snapshot at all.
+
     Faults: with [drop_rate > 0] the first run of each session drops
     each delivery independently with that probability, from a stateless
     per-(seed, session, action) hash — no PRNG state is shared across
@@ -19,6 +31,7 @@
 
 type config = {
   concurrency : int;  (** virtual lanes, >= 1 *)
+  jobs : int;  (** worker domains, >= 1; 1 = run on the calling domain *)
   session_deadline : int;  (** per-session engine escrow deadline (ticks) *)
   latency : int;  (** per-session engine delivery latency *)
   max_events : int;
@@ -28,8 +41,8 @@ type config = {
 }
 
 val default_config : config
-(** 8 lanes, deadline 1000, latency 1, 100k events, no drops, retry on,
-    seed 1. *)
+(** 8 lanes, 1 job, deadline 1000, latency 1, 100k events, no drops,
+    retry on, seed 1. *)
 
 type stats = {
   makespan : int;  (** max lane clock after the batch, >= 1 per session *)
@@ -41,4 +54,6 @@ val run : ?metrics:Metrics.t -> config -> Cache.t -> Session.t list -> stats
     cache, rebuild fresh behaviours, run the engine with the session's
     deadline, audit, classify ([Settled] iff the audit reached every
     party's preferred outcome). When [metrics] is given, records
-    session counters, engine event counters and tick/event histograms. *)
+    session counters, engine event counters and tick/event histograms,
+    plus the [serve_pool_*] gauges when [jobs > 1]. Re-raises the first
+    exception a worker's session raised, after joining the pool. *)

@@ -7,6 +7,7 @@ type config = {
   seed : int64;
   mix : Gen.mix;
   concurrency : int;
+  jobs : int;
   mode : Harness.mode;
   shared : bool;
   rescue : bool;
@@ -26,6 +27,7 @@ let default =
     seed = 42L;
     mix = Gen.default_mix;
     concurrency = 8;
+    jobs = 1;
     mode = Harness.Lockstep;
     shared = false;
     rescue = true;
@@ -93,6 +95,7 @@ let run (config : config) =
   let scheduler_config =
     {
       Scheduler.concurrency = config.concurrency;
+      jobs = config.jobs;
       session_deadline = config.session_deadline;
       latency = config.latency;
       max_events = config.max_events;
@@ -101,9 +104,11 @@ let run (config : config) =
       seed = Shape.mix64 config.seed;
     }
   in
-  let started = Sys.time () in
+  (* gettimeofday, not [Sys.time]: CPU time sums over worker domains
+     and would hide (or invert) any multicore speedup *)
+  let started = Unix.gettimeofday () in
   let stats = Scheduler.run ~metrics scheduler_config cache sessions in
-  let wall_seconds = Sys.time () -. started in
+  let wall_seconds = Unix.gettimeofday () -. started in
   Metrics.gauge metrics ~help:"protocol cache hit rate over cacheable lookups"
     "serve_cache_hit_rate" (Cache.hit_rate cache);
   Metrics.gauge metrics ~help:"sessions completed per 1000 virtual ticks"
@@ -129,20 +134,21 @@ let report ppf outcome =
   Format.fprintf ppf "cache       hits %d, misses %d, bypasses %d, evictions %d (hit rate %.4f)@."
     (Cache.hits cache) (Cache.misses cache) (Cache.bypasses cache) (Cache.evictions cache)
     (Cache.hit_rate cache);
-  Format.fprintf ppf "makespan    %d virtual ticks on %d lanes@." outcome.stats.Scheduler.makespan
-    outcome.config.concurrency;
+  Format.fprintf ppf "makespan    %d virtual ticks on %d lanes (%d worker domain%s)@."
+    outcome.stats.Scheduler.makespan outcome.config.concurrency outcome.config.jobs
+    (if outcome.config.jobs = 1 then "" else "s");
   Format.fprintf ppf "throughput  %.2f sessions / 1000 virtual ticks@." (virtual_throughput outcome);
   Format.fprintf ppf "-- metrics --@.%s" (Metrics.to_text outcome.metrics)
 
 let json outcome =
   let t = tally outcome.sessions in
   Printf.sprintf
-    "{\"sessions\":%d,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"retried\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\"hit_rate\":%.4f},\"makespan_ticks\":%d,\"concurrency\":%d,\"virtual_throughput\":%.2f,\"metrics\":%s}"
+    "{\"sessions\":%d,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"retried\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\"hit_rate\":%.4f},\"makespan_ticks\":%d,\"concurrency\":%d,\"jobs\":%d,\"virtual_throughput\":%.2f,\"metrics\":%s}"
     outcome.config.sessions t.settled t.expired t.aborted outcome.stats.Scheduler.retried
     (Cache.hits outcome.cache) (Cache.misses outcome.cache) (Cache.bypasses outcome.cache)
     (Cache.evictions outcome.cache) (Cache.hit_rate outcome.cache)
-    outcome.stats.Scheduler.makespan outcome.config.concurrency (virtual_throughput outcome)
-    (Metrics.to_json outcome.metrics)
+    outcome.stats.Scheduler.makespan outcome.config.concurrency outcome.config.jobs
+    (virtual_throughput outcome) (Metrics.to_json outcome.metrics)
 
 let wall_line outcome =
   let per_sec =

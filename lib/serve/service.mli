@@ -3,14 +3,17 @@
 
     Everything in {!report} and {!json} is deterministic in the config
     (virtual ticks, counts, rates): two runs with the same seed are
-    byte-identical. Wall-clock throughput is reported separately by
-    {!wall_line} so it can never contaminate the snapshot. *)
+    byte-identical, and runs differing only in [jobs] differ only in
+    the [jobs] config echo and the [serve_pool_*] gauges. Wall-clock
+    throughput is reported separately by {!wall_line} so it can never
+    contaminate the snapshot. *)
 
 type config = {
   sessions : int;
   seed : int64;
   mix : Workload.Gen.mix;  (** random-transaction mix for the workload *)
   concurrency : int;
+  jobs : int;  (** worker domains for the scheduler, >= 1 *)
   mode : Trust_sim.Harness.mode;
   shared : bool;
   rescue : bool;
@@ -27,7 +30,8 @@ type config = {
 }
 
 val default : config
-(** 100 sessions, seed 42, default mix, 8 lanes, Lockstep, rescue on. *)
+(** 100 sessions, seed 42, default mix, 8 lanes, 1 job, Lockstep,
+    rescue on. *)
 
 type outcome = {
   config : config;

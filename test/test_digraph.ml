@@ -132,6 +132,28 @@ let test_two_colouring_even () =
 let test_two_colouring_odd () =
   check "odd cycle not bipartite" true (Digraph.two_colouring (cycle 3) = None)
 
+let test_dense_construction () =
+  (* A complete graph on n nodes: with the old append-and-scan adjacency
+     this was O(E * deg); the edge-table representation keeps it O(E).
+     The size is big enough that a quadratic regression times out the
+     suite rather than passing slowly. *)
+  let n = 512 in
+  let g = Digraph.create () in
+  let _ = Digraph.add_nodes g n in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then Digraph.add_edge g u v
+    done
+  done;
+  check_int "complete graph edge count" (n * (n - 1)) (Digraph.edge_count g);
+  (* insertion order must survive the cons'd representation *)
+  Alcotest.(check (list int)) "succ in insertion order"
+    (List.filter (fun v -> v <> 0) (List.init n (fun i -> i)))
+    (Digraph.succ g 0);
+  Digraph.remove_edge g 0 1;
+  check "removed" false (Digraph.mem_edge g 0 1);
+  check_int "edge count after removal" ((n * (n - 1)) - 1) (Digraph.edge_count g)
+
 let test_deep_chain_scc () =
   (* The iterative Tarjan must survive deep graphs that would overflow a
      naive recursive implementation's stack. *)
@@ -196,6 +218,7 @@ let () =
           Alcotest.test_case "remove edge" `Quick test_remove_edge;
           Alcotest.test_case "degrees and adjacency" `Quick test_degrees;
           Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+          Alcotest.test_case "dense construction is linear" `Quick test_dense_construction;
         ] );
       ( "algorithms",
         [

@@ -119,7 +119,8 @@ let test_override_bypasses () =
   check_int "nothing resident" 0 (Cache.size cache)
 
 let test_eviction () =
-  let cache = Cache.create ~capacity:2 Cache.default_policy in
+  (* one shard = the unsharded FIFO semantics, pinned exactly *)
+  let cache = Cache.create ~capacity:2 ~shards:1 Cache.default_policy in
   let s1 = Gen.chain ~brokers:1 and s2 = Gen.chain ~brokers:2 and s3 = Gen.chain ~brokers:3 in
   ignore (Cache.synthesize cache s1);
   ignore (Cache.synthesize cache s2);
@@ -129,6 +130,36 @@ let test_eviction () =
   (* s1 was the oldest insertion, so it is the one that went *)
   let _, outcome = Cache.synthesize cache s1 in
   check_string "evicted entry misses" "miss" (outcome_label outcome)
+
+let test_sharded_counts_aggregate () =
+  (* Distinct shapes land on (mostly) distinct shards; the aggregate
+     hit/miss/size counters must still read like one cache. *)
+  let cache = Cache.create Cache.default_policy in
+  check "default shard fan-out" true (Cache.shard_count cache > 1);
+  let specs = List.init 12 (fun n -> Gen.chain ~brokers:n) in
+  List.iter (fun s -> ignore (Cache.synthesize cache s)) specs;
+  List.iter (fun s -> ignore (Cache.synthesize cache s)) specs;
+  check_int "one miss per distinct shape" 12 (Cache.misses cache);
+  check_int "one hit per repeat" 12 (Cache.hits cache);
+  check_int "all resident" 12 (Cache.size cache);
+  check "hit rate 1/2" true (Cache.hit_rate cache = 0.5)
+
+let test_sharded_concurrent_same_tallies () =
+  (* Hammer one cache from several domains with the same interleaved
+     shape stream: per shape, exactly one lookup is the miss and the
+     rest are hits, whatever the arrival order — so the aggregate
+     tallies equal the sequential ones. *)
+  let specs = List.init 6 (fun n -> Gen.chain ~brokers:n) in
+  let cache = Cache.create Cache.default_policy in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.iter (fun s -> ignore (Cache.synthesize cache s)) specs))
+  in
+  Array.iter Domain.join domains;
+  check_int "one miss per distinct shape" 6 (Cache.misses cache);
+  check_int "hits for every other lookup" (4 * 6 - 6) (Cache.hits cache);
+  check_int "six resident" 6 (Cache.size cache)
 
 let prop_cached_equals_fresh =
   QCheck2.Test.make ~name:"cached synthesis equals fresh synthesis" ~count:60 QCheck2.Gen.int
@@ -174,6 +205,9 @@ let () =
           Alcotest.test_case "rescued fan carries plan" `Quick test_rescued_fan_carries_plan;
           Alcotest.test_case "negative caching" `Quick test_negative_caching;
           Alcotest.test_case "eviction" `Quick test_eviction;
+          Alcotest.test_case "sharded counters aggregate" `Quick test_sharded_counts_aggregate;
+          Alcotest.test_case "concurrent lookups, sequential tallies" `Quick
+            test_sharded_concurrent_same_tallies;
         ] );
       ( "properties",
         [

@@ -8,6 +8,7 @@ module Scheduler = Trust_serve.Scheduler
 module Cache = Trust_serve.Cache
 module Metrics = Trust_serve.Metrics
 module Service = Trust_serve.Service
+module Pool = Trust_serve.Pool
 module Gen = Workload.Gen
 
 let check = Alcotest.(check bool)
@@ -126,6 +127,83 @@ let test_bounded_concurrency () =
   check "more lanes, no slower" true (wide <= serial);
   check "serial pays for every session" true (serial >= 12)
 
+let test_pool_runs_everything () =
+  let n = 200 in
+  let counters = Array.make n 0 in
+  Pool.run_all ~jobs:4 (fun i -> counters.(i) <- counters.(i) + 1) (List.init n Fun.id);
+  Array.iteri (fun i c -> check_int (Printf.sprintf "job %d ran once" i) 1 c) counters
+
+let test_pool_stats_and_shutdown () =
+  let pool = Pool.create ~queue_capacity:4 ~jobs:2 () in
+  check_int "pool size" 2 (Pool.size pool);
+  let hits = Atomic.make 0 in
+  for _ = 1 to 32 do
+    Pool.submit pool (fun () -> ignore (Atomic.fetch_and_add hits 1))
+  done;
+  Pool.shutdown pool;
+  check_int "every job executed" 32 (Atomic.get hits);
+  let s = Pool.stats pool in
+  check_int "stats count executions" 32 s.Pool.executed;
+  check "peak bounded by capacity" true (s.Pool.peak_depth <= 4);
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      Pool.submit pool (fun () -> ()))
+
+let test_pool_propagates_failure () =
+  let pool = Pool.create ~jobs:2 () in
+  Pool.submit pool (fun () -> ());
+  Pool.submit pool (fun () -> failwith "boom");
+  Pool.submit pool (fun () -> ());
+  Alcotest.check_raises "first job exception re-raised at shutdown" (Failure "boom") (fun () ->
+      Pool.shutdown pool)
+
+(* Strip the pool gauges (samples and their HELP lines) — the only
+   metrics allowed to vary with [jobs] — before comparing snapshots
+   across domain counts. *)
+let contains_pool_gauge line =
+  let needle = "serve_pool_" and n = String.length line in
+  let k = String.length needle in
+  let rec at i = i + k <= n && (String.sub line i k = needle || at (i + 1)) in
+  at 0
+
+let metrics_sans_pool m =
+  Metrics.to_text m |> String.split_on_char '\n'
+  |> List.filter (fun line -> not (contains_pool_gauge line))
+  |> String.concat "\n"
+
+let parallel_batch ~jobs =
+  let config =
+    {
+      Service.default with
+      Service.sessions = 80;
+      seed = 23L;
+      concurrency = 4;
+      jobs;
+      drop_rate = 0.05;
+      defect_every = Some 9;
+    }
+  in
+  Service.run config
+
+let test_jobs_bit_identical () =
+  let a = parallel_batch ~jobs:1 and b = parallel_batch ~jobs:4 in
+  List.iter2
+    (fun (x : Session.t) (y : Session.t) ->
+      check_string "same verdict" (Session.status_label x.Session.status)
+        (Session.status_label y.Session.status);
+      check_int "same ticks" x.Session.ticks y.Session.ticks;
+      check_int "same events" x.Session.events y.Session.events;
+      check_int "same attempts" x.Session.attempts y.Session.attempts;
+      check_int "same placement" x.Session.started_at y.Session.started_at;
+      check_int "same completion" x.Session.finished_at y.Session.finished_at)
+    a.Service.sessions b.Service.sessions;
+  check_int "same makespan" a.Service.stats.Scheduler.makespan b.Service.stats.Scheduler.makespan;
+  check_int "same retries" a.Service.stats.Scheduler.retried b.Service.stats.Scheduler.retried;
+  check_int "same cache misses" (Cache.misses a.Service.cache) (Cache.misses b.Service.cache);
+  check_int "same cache hits" (Cache.hits a.Service.cache) (Cache.hits b.Service.cache);
+  check_string "metrics identical modulo pool gauges" (metrics_sans_pool a.Service.metrics)
+    (metrics_sans_pool b.Service.metrics)
+
 let test_service_deterministic () =
   let config =
     {
@@ -156,5 +234,15 @@ let () =
           Alcotest.test_case "defector not retried" `Quick test_defector_not_retried;
           Alcotest.test_case "bounded concurrency" `Quick test_bounded_concurrency;
         ] );
-      ("service", [ Alcotest.test_case "deterministic outcome" `Quick test_service_deterministic ]);
+      ( "pool",
+        [
+          Alcotest.test_case "runs every job exactly once" `Quick test_pool_runs_everything;
+          Alcotest.test_case "stats and shutdown" `Quick test_pool_stats_and_shutdown;
+          Alcotest.test_case "propagates job failure" `Quick test_pool_propagates_failure;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "deterministic outcome" `Quick test_service_deterministic;
+          Alcotest.test_case "jobs 1 = jobs 4, bit for bit" `Quick test_jobs_bit_identical;
+        ] );
     ]
