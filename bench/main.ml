@@ -8,7 +8,10 @@
      main.exe --bechamel      only the timing benches
      main.exe --quick         smaller sweeps (CI-friendly)
      main.exe --serve-json    serve-layer throughput benchmark, JSON on stdout
-                              (the BENCH_serve.json baseline)
+                              (the BENCH_serve.json baseline); with
+                              --trace FILE also lands the per-session
+                              span JSONL of the measured run
+
      main.exe --parallel-json multicore scaling sweep over --jobs 1/2/4/8, JSON
                               on stdout (the BENCH_parallel.json baseline)
 *)
@@ -618,19 +621,31 @@ let bechamel_benches () =
    later PRs can track sessions/sec and the cache hit rate; the
    committed baseline lives in BENCH_serve.json. *)
 
+let trace_out = ref None
+
 let serve_json () =
   let module Service = Trust_serve.Service in
+  let module Obs = Trust_obs.Obs in
   let sessions = if !quick then 200 else 1000 in
-  let config = { Service.default with Service.sessions; seed = 42L } in
+  let config =
+    { Service.default with Service.sessions; seed = 42L; trace = !trace_out <> None }
+  in
   (* warm once so the measured run prices a hot allocator, then measure *)
-  ignore (Service.run config);
+  ignore (Service.run { config with Service.trace = false });
   let outcome = Service.run config in
+  (match !trace_out with
+  | Some path ->
+    Out_channel.with_open_text path (fun oc ->
+        Out_channel.output_string oc
+          (Obs.export ~producer:("bench " ^ Trustseq_version.Version.v) Obs.Jsonl
+             (Obs.batch_traces outcome.Service.obs)))
+  | None -> ());
   let t = Service.tally outcome.Service.sessions in
   let wall = outcome.Service.wall_seconds in
   let per_sec = if wall > 0. then float_of_int sessions /. wall else 0. in
   Printf.printf
-    "{\"bench\":\"serve_throughput\",\"sessions\":%d,\"seed\":42,\"wall_seconds\":%.4f,\"sessions_per_sec\":%.1f,\"cache_hit_rate\":%.4f,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"makespan_ticks\":%d,\"concurrency\":%d}\n"
-    sessions wall per_sec
+    "{\"bench\":\"serve_throughput\",\"version\":\"%s\",\"sessions\":%d,\"seed\":42,\"wall_seconds\":%.4f,\"sessions_per_sec\":%.1f,\"cache_hit_rate\":%.4f,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"makespan_ticks\":%d,\"concurrency\":%d}\n"
+    Trustseq_version.Version.v sessions wall per_sec
     (Trust_serve.Cache.hit_rate outcome.Service.cache)
     t.Service.settled t.Service.expired t.Service.aborted
     outcome.Service.stats.Trust_serve.Scheduler.makespan
@@ -713,6 +728,12 @@ let experiments =
 let () =
   let args = Array.to_list Sys.argv in
   if List.mem "--quick" args then quick := true;
+  (let rec find = function
+     | "--trace" :: path :: _ -> trace_out := Some path
+     | _ :: rest -> find rest
+     | [] -> ()
+   in
+   find args);
   if List.mem "--serve-json" args then begin
     serve_json ();
     exit 0

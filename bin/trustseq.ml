@@ -9,11 +9,54 @@ module Sequencing = Trust_core.Sequencing
 module Execution = Trust_core.Execution
 module Indemnity = Trust_core.Indemnity
 module Cost = Trust_core.Cost
+module Obs = Trust_obs.Obs
 
-let load path =
+let version = Trustseq_version.Version.v
+
+let load ?obs ?parent path =
   match path with
-  | "-" -> Trust_lang.Elaborate.from_string (In_channel.input_all stdin)
-  | path -> Trust_lang.Elaborate.from_file path
+  | "-" -> Trust_lang.Elaborate.from_string ?obs ?parent ~file:"<stdin>" (In_channel.input_all stdin)
+  | path -> Trust_lang.Elaborate.from_file ?obs ?parent path
+
+(* Shared by `trace` and the --trace flags: render and land a trace.
+   '-' means stdout — batch refuses it so the deterministic snapshot
+   stays uncontaminated. *)
+let trace_format_arg =
+  let formats = [ ("jsonl", Obs.Jsonl); ("chrome", Obs.Chrome); ("tree", Obs.Tree) ] in
+  fun ~default doc_ctx ->
+    Arg.(
+      value
+      & opt (enum formats) default
+      & info [ "format"; "trace-format" ] ~docv:"FMT"
+          ~doc:
+            (Printf.sprintf
+               "Trace export format for %s: $(b,jsonl) (one span/event object per line), \
+                $(b,chrome) (trace-event JSON array, loadable in Perfetto or chrome://tracing) \
+                or $(b,tree) (human-readable span tree)."
+               doc_ctx))
+
+let write_trace fmt path traces =
+  let rendered = Obs.export ~producer:("trustseq " ^ version) fmt traces in
+  match path with
+  | "-" -> print_string rendered
+  | path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc rendered)
+
+(* The automatic indemnity rescue, merged into a single plan (the same
+   folding simulate/route use). *)
+let rescue_plan ?shared spec =
+  match Feasibility.rescue_with_indemnities ?shared spec with
+  | None -> None
+  | Some r -> (
+    match r.Feasibility.plans with
+    | [] -> None
+    | [ plan ] -> Some plan
+    | plans ->
+      Some
+        Indemnity.
+          {
+            offers = List.concat_map (fun p -> p.offers) plans;
+            total = Feasibility.total_indemnity r;
+          })
 
 let or_die = function
   | Ok v -> v
@@ -208,40 +251,30 @@ let defection_conv =
   Arg.conv (parse, print)
 
 let simulate_cmd =
-  let run file defections rescue verbose =
-    let spec = or_die (load file) in
-    let plan =
-      if rescue then
-        match Feasibility.rescue_with_indemnities spec with
-        | Some r -> (
-          match r.Feasibility.plans with
-          | [ plan ] -> Some plan
-          | [] -> None
-          | plans ->
-            (* merge into one plan for the run *)
-            Some
-              Indemnity.
-                {
-                  offers = List.concat_map (fun p -> p.offers) plans;
-                  total = List.fold_left (fun a p -> a + p.total) 0 plans;
-                })
-        | None -> None
-      else None
+  let run file defections rescue verbose trace_out trace_format =
+    let obs = match trace_out with Some _ -> Obs.create () | None -> Obs.null in
+    let status =
+      Obs.with_span obs ~phase:"pipeline" "trustseq.simulate" (fun root ->
+          let spec = or_die (load ~obs ~parent:root file) in
+          let plan = if rescue then rescue_plan spec else None in
+          let defectors =
+            List.map (fun (name, mode) -> (or_die (party_of_spec spec name), mode)) defections
+          in
+          match Trust_sim.Harness.adversarial_run ~obs ~parent:root ?plan ~defectors spec with
+          | Error message ->
+            prerr_endline ("trustseq: " ^ message);
+            1
+          | Ok result ->
+            if verbose then Format.printf "%a@.@." Trust_sim.Engine.pp_result result;
+            let report =
+              Trust_sim.Audit.audit ~obs ~parent:root spec ?plan
+                ~defectors:(List.map fst defectors) result
+            in
+            Format.printf "%a@." Trust_sim.Audit.pp_report report;
+            if report.Trust_sim.Audit.honest_all_acceptable then 0 else 1)
     in
-    let defectors =
-      List.map (fun (name, mode) -> (or_die (party_of_spec spec name), mode)) defections
-    in
-    match Trust_sim.Harness.adversarial_run ?plan ~defectors spec with
-    | Error message ->
-      prerr_endline ("trustseq: " ^ message);
-      1
-    | Ok result ->
-      if verbose then Format.printf "%a@.@." Trust_sim.Engine.pp_result result;
-      let report =
-        Trust_sim.Audit.audit spec ?plan ~defectors:(List.map fst defectors) result
-      in
-      Format.printf "%a@." Trust_sim.Audit.pp_report report;
-      if report.Trust_sim.Audit.honest_all_acceptable then 0 else 1
+    Option.iter (fun path -> write_trace trace_format path [ obs ]) trace_out;
+    status
   in
   let defections =
     Arg.(
@@ -253,10 +286,21 @@ let simulate_cmd =
     Arg.(value & flag & info [ "indemnify" ] ~doc:"Apply the automatic indemnity rescue first.")
   in
   let verbose = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the delivery log.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a structured trace of the whole run (parse through audit) and write it to \
+             $(docv) ('-' for stdout).")
+  in
   Cmd.v
     (Cmd.info "simulate"
        ~doc:"Execute the synthesized protocol in the discrete-event runtime and audit outcomes.")
-    Term.(const run $ file_arg $ defections $ rescue $ verbose)
+    Term.(
+      const run $ file_arg $ defections $ rescue $ verbose $ trace_out
+      $ trace_format_arg ~default:Obs.Jsonl "--trace")
 
 (* render *)
 
@@ -449,10 +493,86 @@ let route_cmd =
           brokers and requests (section 9).")
     Term.(const run $ file_arg $ simulate)
 
+(* trace *)
+
+let trace_cmd =
+  let run file format out =
+    let src =
+      match file with
+      | "-" -> In_channel.input_all stdin
+      | path -> (
+        match In_channel.with_open_text path In_channel.input_all with
+        | src -> src
+        | exception Sys_error m ->
+          prerr_endline ("trustseq: " ^ m);
+          exit 2)
+    in
+    let obs = Obs.create () in
+    let status =
+      Obs.with_span obs ~phase:"pipeline" "trustseq.trace" (fun root ->
+          match Trust_lang.Elaborate.from_string ~obs ~parent:root ~file src with
+          | Error message ->
+            prerr_endline ("trustseq: " ^ message);
+            2
+          | Ok spec -> (
+            (* every phase lands on the trace, whatever it finds *)
+            ignore (Trust_analyze.Lint.check_spec ~obs ~parent:root ~file spec);
+            let analysis = Feasibility.analyze ~obs ~parent:root spec in
+            let plan =
+              (* infeasible specs get the automatic indemnity rescue so
+                 the downstream phases still appear on the trace *)
+              match analysis.Feasibility.outcome.Reduce.verdict with
+              | Reduce.Feasible -> None
+              | Reduce.Stuck _ -> rescue_plan spec
+            in
+            match Trust_sim.Harness.assemble ~obs ~parent:root ?plan spec with
+            | Error message ->
+              prerr_endline ("trustseq: " ^ message);
+              1
+            | Ok cast ->
+              let result = Trust_sim.Harness.run_cast ~obs ~parent:root cast in
+              ignore
+                (Trust_analyze.Verifier.verify_spec ~obs ~parent:root
+                   cast.Trust_sim.Harness.spec);
+              let report = Trust_sim.Audit.audit ~obs ~parent:root spec ?plan result in
+              if report.Trust_sim.Audit.honest_all_acceptable then 0 else 1))
+    in
+    write_trace format out [ obs ];
+    status
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the trace to $(docv) (default stdout).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the whole pipeline over the specification — parse, elaborate, lint, reduce \
+         (sequencing-graph reduction with its per-rule profiler), route (protocol assembly), \
+         simulate, verify and audit — recording every phase as a span on one structured trace, \
+         then renders the trace.";
+      `P
+        "All timestamps are virtual (a per-trace monotonic counter), so the output is \
+         byte-identical run to run; see docs/OBS.md for the span model and determinism \
+         contract.";
+      `S Manpage.s_exit_status;
+      `P "0 — the traced honest run audited clean.";
+      `P "1 — infeasible (even after indemnity rescue) or the audit found an unacceptable outcome.";
+      `P "2 — the file failed to load/parse/elaborate.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace" ~man
+       ~doc:"Trace the full pipeline (parse to audit) and export spans as JSONL, Chrome JSON or a tree.")
+    Term.(const run $ file_arg $ trace_format_arg ~default:Obs.Tree "the trace" $ out)
+
 (* batch *)
 
 let batch_cmd =
-  let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify json =
+  let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify json
+      trace_out trace_format debug_gauges =
     let module Service = Trust_serve.Service in
     if sessions < 0 then (
       prerr_endline "trustseq: --sessions must be non-negative";
@@ -471,6 +591,13 @@ let batch_cmd =
       prerr_endline "trustseq: --defect-every must be at least 1";
       exit 2
     | _ -> ());
+    (match trace_out with
+    | Some "-" ->
+      (* stdout carries the deterministic snapshot; a trace there would
+         corrupt the byte-identical contract *)
+      prerr_endline "trustseq: batch --trace needs a file path, not '-'";
+      exit 2
+    | _ -> ());
     let config =
       {
         Service.default with
@@ -484,16 +611,22 @@ let batch_cmd =
         verify_cache = verify;
         drop_rate;
         defect_every;
+        trace = trace_out <> None;
       }
     in
     let outcome = Service.run config in
     if json then print_string (Service.json outcome)
     else Format.printf "%a" Service.report outcome;
-    (* wall-clock throughput and timing telemetry (the volatile pool
-       gauges) go to stderr so stdout stays a byte-identical snapshot
-       across runs with the same seed, at any --jobs *)
+    Option.iter
+      (fun path -> write_trace trace_format path (Obs.batch_traces outcome.Service.obs))
+      trace_out;
+    (* wall-clock throughput goes to stderr so stdout stays a
+       byte-identical snapshot across runs with the same seed, at any
+       --jobs; the scheduling-dependent pool gauges are noisier still
+       and stay opt-in *)
     prerr_endline (Service.wall_line outcome);
-    prerr_string (Trust_serve.Metrics.volatile_text outcome.Service.metrics);
+    if debug_gauges then
+      prerr_string (Trust_serve.Metrics.volatile_text outcome.Service.metrics);
     0
   in
   let sessions =
@@ -558,6 +691,24 @@ let batch_cmd =
           ~doc:"Re-synthesize on every cache hit and fail loudly on divergence.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record one structured trace per session and write them all to $(docv). Span sets \
+             are byte-identical at any --jobs (see docs/OBS.md).")
+  in
+  let debug_gauges =
+    Arg.(
+      value & flag
+      & info [ "debug-gauges" ]
+          ~doc:
+            "Print the volatile serve_pool_* gauges (queue high-water mark, wait counts) to \
+             stderr. They depend on OS scheduling, not the seed, so they are off by default and \
+             never part of the snapshot.")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -565,7 +716,8 @@ let batch_cmd =
           (protocol cache + batch scheduler) and print a deterministic metrics report.")
     Term.(
       const run $ sessions $ seed $ concurrency $ jobs $ mode $ density $ drop_rate $ defect_every
-      $ no_rescue $ verify $ json)
+      $ no_rescue $ verify $ json $ trace_out $ trace_format_arg ~default:Obs.Jsonl "--trace"
+      $ debug_gauges)
 
 (* petri *)
 
@@ -592,7 +744,7 @@ let petri_cmd =
 let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
-    (Cmd.info "trustseq" ~version:"1.0.0" ~doc)
-    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd ]
+    (Cmd.info "trustseq" ~version ~doc)
+    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,11 +1,23 @@
 module Ast = Trust_lang.Ast
 module Parser = Trust_lang.Parser
 module Elaborate = Trust_lang.Elaborate
+module Obs = Trust_obs.Obs
 
 type format = Human | Json | Sarif
 
-let check_spec ?file ?decls ?(deep = true) spec =
-  Diagnostic.sort (Rules.check ?file ?decls ~deep spec)
+let check_spec ?(obs = Obs.null) ?parent ?file ?decls ?(deep = true) spec =
+  Obs.with_span obs ?parent ~phase:"lint" "lint" (fun h ->
+      let diagnostics = Diagnostic.sort (Rules.check ?file ?decls ~deep spec) in
+      if Obs.enabled obs then begin
+        let by severity =
+          List.length (List.filter (fun d -> d.Diagnostic.severity = severity) diagnostics)
+        in
+        Obs.attr obs h "deep" (Obs.Bool deep);
+        Obs.attr obs h "diagnostics" (Obs.Int (List.length diagnostics));
+        Obs.attr obs h "errors" (Obs.Int (by Diagnostic.Error));
+        Obs.attr obs h "warnings" (Obs.Int (by Diagnostic.Warning))
+      end;
+      diagnostics)
 
 let elaboration_diags ?file errors =
   List.map

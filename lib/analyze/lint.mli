@@ -10,6 +10,8 @@ open Exchange
 type format = Human | Json | Sarif
 
 val check_spec :
+  ?obs:Trust_obs.Obs.t ->
+  ?parent:Trust_obs.Obs.handle ->
   ?file:string ->
   ?decls:Trust_lang.Ast.program ->
   ?deep:bool ->
@@ -17,7 +19,9 @@ val check_spec :
   Diagnostic.t list
 (** Lint an already-elaborated spec. [deep] (default [true]) also runs
     the feasibility-based rules; the serve admission gate uses
-    [deep:false] to stay cheap. Sorted deterministically. *)
+    [deep:false] to stay cheap. Sorted deterministically. [obs]/[parent]
+    attach a ["lint"] span (diagnostic tallies) to a trace; the default
+    null sink records nothing. *)
 
 val lint_source : ?file:string -> ?deep:bool -> string -> Diagnostic.t list
 (** Parse, elaborate and lint DSL source. Lex/parse failures yield a

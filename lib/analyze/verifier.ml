@@ -178,11 +178,26 @@ let verify (seq : Execution.sequence) =
     slots;
   match List.rev !exposures with [] -> Ok () | exposures -> Error exposures
 
-let verify_spec ?shared spec =
-  let analysis = Feasibility.analyze ?shared spec in
-  match analysis.Feasibility.sequence with
-  | None -> Ok ()
-  | Some seq -> verify seq
+let verify_spec ?(obs = Trust_obs.Obs.null) ?parent ?shared spec =
+  let module Obs = Trust_obs.Obs in
+  Obs.with_span obs ?parent ~phase:"verify" "verify" (fun h ->
+      let analysis = Feasibility.analyze ?shared spec in
+      let result =
+        match analysis.Feasibility.sequence with
+        | None -> Ok ()
+        | Some seq -> verify seq
+      in
+      if Obs.enabled obs then begin
+        (match analysis.Feasibility.sequence with
+        | Some seq -> Obs.attr obs h "steps" (Obs.Int (List.length seq.Trust_core.Execution.steps))
+        | None -> Obs.attr obs h "vacuous" (Obs.Bool true));
+        match result with
+        | Ok () -> Obs.attr obs h "safe" (Obs.Bool true)
+        | Error exposures ->
+          Obs.attr obs h "safe" (Obs.Bool false);
+          Obs.attr obs h "exposures" (Obs.Int (List.length exposures))
+      end;
+      result)
 
 let pp_exposure ppf e =
   let where =

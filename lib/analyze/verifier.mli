@@ -31,10 +31,15 @@ val verify : Trust_core.Execution.sequence -> (unit, exposure list) result
 (** Replay and check. [Error] lists every exposure found, in step
     order. *)
 
-val verify_spec : ?shared:bool -> Spec.t -> (unit, exposure list) result
+val verify_spec :
+  ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> ?shared:bool -> Spec.t ->
+  (unit, exposure list) result
 (** Synthesize the spec's execution sequence (via
     {!Trust_core.Feasibility.analyze}) and {!verify} it. Infeasible
-    specs verify vacuously — there is no sequence to check. *)
+    specs verify vacuously — there is no sequence to check.
+    [obs]/[parent] attach a ["verify"] span (steps, safety verdict,
+    exposure count) to a trace; the default null sink records
+    nothing. *)
 
 val explain : exposure list -> string
 (** Per-party grouping: one header line per exposed party, one indented

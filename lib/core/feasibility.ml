@@ -6,8 +6,10 @@ type analysis = {
   sequence : Execution.sequence option;
 }
 
-let analyze ?(shared = false) spec =
-  let reducer = if shared then Reduce.run_shared else Reduce.run in
+let analyze ?(shared = false) ?obs ?parent spec =
+  let reducer =
+    if shared then Reduce.run_shared ?obs ?parent else Reduce.run ?obs ?parent
+  in
   let outcome = reducer (Sequencing.build ~granular:shared spec) in
   let sequence = Result.to_option (Execution.of_outcome outcome) in
   { spec; outcome; sequence }

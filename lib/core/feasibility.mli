@@ -9,9 +9,12 @@ type analysis = {
   sequence : Execution.sequence option;  (** [Some] iff feasible *)
 }
 
-val analyze : ?shared:bool -> Spec.t -> analysis
+val analyze :
+  ?shared:bool -> ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> Spec.t -> analysis
 (** [shared] (default false) also enables {!Reduce.Rule3_shared}, the
-    shared-agent extension. *)
+    shared-agent extension. [obs]/[parent] attach the reducer's
+    profiler span to a trace (see {!Reduce.run}); the default null sink
+    records nothing. *)
 
 val is_feasible : ?shared:bool -> Spec.t -> bool
 

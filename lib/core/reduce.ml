@@ -1,3 +1,5 @@
+module Obs = Trust_obs.Obs
+
 type rule = Rule1 | Rule1_persona | Rule2 | Rule3_shared
 
 type deletion = {
@@ -121,15 +123,62 @@ let finish g deletions =
   in
   { verdict; deletions = List.rev deletions; graph = g }
 
-let run_with ?(shared = false) ~pick g =
-  let rec loop step deletions =
-    match applicable_with ~shared g with
-    | [] -> finish g deletions
-    | candidates ->
-      let deletion = apply g ~step (pick candidates) in
-      loop (step + 1) (deletion :: deletions)
-  in
-  loop 1 []
+(* Reduction telemetry: one "delete" event per rule application (the
+   deletion timeline) and per-rule counters on the reduce span. All
+   values are virtual (steps, node ids), so traces stay deterministic. *)
+
+let pp_rule_name rule =
+  match rule with
+  | Rule1 -> "rule1"
+  | Rule1_persona -> "rule1_persona"
+  | Rule2 -> "rule2"
+  | Rule3_shared -> "rule3_shared"
+
+let record_deletion obs h g (d : deletion) =
+  if Obs.enabled obs then
+    Obs.event obs h "delete"
+      ~attrs:
+        [
+          ("step", Obs.Int d.step);
+          ("rule", Obs.Str (pp_rule_name d.rule));
+          ("cid", Obs.Int d.cid);
+          ("jid", Obs.Int d.jid);
+          ("colour", Obs.Str (Format.asprintf "%a" Sequencing.pp_colour d.colour));
+          ("owner", Obs.Str (Exchange.Party.name (Sequencing.conjunction g d.jid).Sequencing.owner));
+        ]
+
+let record_outcome obs h ?(pushes = -1) ?(rescans = -1) outcome =
+  if Obs.enabled obs then begin
+    let count r = List.length (List.filter (fun d -> d.rule = r) outcome.deletions) in
+    Obs.attr obs h "steps" (Obs.Int (List.length outcome.deletions));
+    Obs.attr obs h "rule1" (Obs.Int (count Rule1));
+    Obs.attr obs h "rule1_persona" (Obs.Int (count Rule1_persona));
+    Obs.attr obs h "rule2" (Obs.Int (count Rule2));
+    Obs.attr obs h "rule3_shared" (Obs.Int (count Rule3_shared));
+    if pushes >= 0 then Obs.attr obs h "worklist_pushes" (Obs.Int pushes);
+    if rescans >= 0 then Obs.attr obs h "rescans" (Obs.Int rescans);
+    match outcome.verdict with
+    | Feasible -> Obs.attr obs h "verdict" (Obs.Str "feasible")
+    | Stuck { remaining } ->
+      Obs.attr obs h "verdict" (Obs.Str "stuck");
+      Obs.attr obs h "remaining" (Obs.Int (List.length remaining))
+  end
+
+let run_with ?(shared = false) ?(obs = Obs.null) ?parent ?(span_name = "reduce.rescan") ~pick g =
+  Obs.with_span obs ?parent ~phase:"reduce" span_name (fun h ->
+      let rescans = ref 0 in
+      let rec loop step deletions =
+        incr rescans;
+        match applicable_with ~shared g with
+        | [] -> finish g deletions
+        | candidates ->
+          let deletion = apply g ~step (pick candidates) in
+          record_deletion obs h g deletion;
+          loop (step + 1) (deletion :: deletions)
+      in
+      let outcome = loop 1 [] in
+      record_outcome obs h ~rescans:!rescans outcome;
+      outcome)
 
 (* Deterministic priority: Rule #2 first (conjunction disconnects —
    notifications — fire as soon as enabled); then Rule #1 with
@@ -156,9 +205,10 @@ let deterministic_pick g =
   in
   pick
 
-let run_rescan g = run_with ~pick:(deterministic_pick g) g
+let run_rescan ?obs ?parent g = run_with ?obs ?parent ~pick:(deterministic_pick g) g
 
-let run_shared g = run_with ~shared:true ~pick:(deterministic_pick g) g
+let run_shared ?obs ?parent g =
+  run_with ~shared:true ?obs ?parent ~span_name:"reduce.shared" ~pick:(deterministic_pick g) g
 
 let run_randomized ~choose g =
   let pick candidates = List.nth candidates (choose (List.length candidates)) in
@@ -178,7 +228,12 @@ let run_randomized ~choose g =
    Example #1 walkthrough), which {!run_rescan} pins in the tests. *)
 module Int_set = Set.Make (Int)
 
-let run_worklist g =
+let run_worklist ?(obs = Obs.null) ?parent g =
+  Obs.with_span obs ?parent ~phase:"reduce" "reduce.worklist" (fun obs_span ->
+  let pushes = ref 0 in
+  (* profiler hook, not control flow: a push is an insertion into one of
+     the candidate sets; counted only when a trace is attached *)
+  let note_push set elt = if Obs.enabled obs && not (Int_set.mem elt !set) then incr pushes in
   let ncom = Sequencing.commitment_count g in
   (* Static: whether the commitment's principal is external (owns no
      conjunction). Nodes never disappear, only edges do. *)
@@ -194,7 +249,9 @@ let run_worklist g =
   let clause = Array.make (max 1 ncom) Rule1 in
   let refresh_conjunction jid =
     match Sequencing.edges_of_conjunction g jid with
-    | [ _ ] -> rule2 := Int_set.add jid !rule2
+    | [ _ ] ->
+      note_push rule2 jid;
+      rule2 := Int_set.add jid !rule2
     | _ -> rule2 := Int_set.remove jid !rule2
   in
   let refresh_commitment cid =
@@ -210,8 +267,14 @@ let run_worklist g =
     match admitted with
     | Some rule ->
       clause.(cid) <- rule;
-      if external_principal.(cid) then rule1_external := Int_set.add cid !rule1_external
-      else rule1_internal := Int_set.add cid !rule1_internal
+      if external_principal.(cid) then begin
+        note_push rule1_external cid;
+        rule1_external := Int_set.add cid !rule1_external
+      end
+      else begin
+        note_push rule1_internal cid;
+        rule1_internal := Int_set.add cid !rule1_internal
+      end
     | None ->
       if external_principal.(cid) then rule1_external := Int_set.remove cid !rule1_external
       else rule1_internal := Int_set.remove cid !rule1_internal
@@ -248,19 +311,23 @@ let run_worklist g =
     | Some ((_, cid, jid) as candidate) ->
       incr step;
       let neighbours = List.map fst (Sequencing.edges_of_conjunction g jid) in
-      deletions := apply g ~step:!step candidate :: !deletions;
+      let deletion = apply g ~step:!step candidate in
+      record_deletion obs obs_span g deletion;
+      deletions := deletion :: !deletions;
       refresh_commitment cid;
       refresh_conjunction jid;
       List.iter (fun b -> if b <> cid then refresh_commitment b) neighbours;
       drain ()
   in
   drain ();
-  finish g !deletions
+  let outcome = finish g !deletions in
+  record_outcome obs obs_span ~pushes:!pushes outcome;
+  outcome)
 
 (* The worklist reducer replays the deterministic strategy incrementally
    — identical deletion sequence, near-linear instead of quadratic — so
    it is the default synthesis path. *)
-let run g = run_worklist g
+let run ?obs ?parent g = run_worklist ?obs ?parent g
 
 let feasible outcome = outcome.verdict = Feasible
 

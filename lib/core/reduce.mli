@@ -53,27 +53,34 @@ type outcome = {
   graph : Sequencing.t;  (** the (mutated) reduced graph *)
 }
 
-val run : Sequencing.t -> outcome
+val run : ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> Sequencing.t -> outcome
 (** Reduce with the deterministic strategy. The graph is mutated;
     pass a {!Sequencing.copy} to keep the original. This is the
     incremental {!run_worklist} reducer — near-linear for bounded
     conjunction degree, with the same deletion sequence the paper's
     Example #1 walkthrough follows; {!run_rescan} is the quadratic
-    reference implementation it is property-tested against. *)
+    reference implementation it is property-tested against.
 
-val run_rescan : Sequencing.t -> outcome
+    When a trace [obs] is attached, the run opens a [reduce]-phase span
+    (child of [parent]) carrying the per-rule profiler: one ["delete"]
+    timeline event per rule application (step, rule, edge, colour,
+    owner) and counters for rule applications, worklist pushes and the
+    final verdict. Tracing never alters the reduction. *)
+
+val run_rescan : ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> Sequencing.t -> outcome
 (** The original rescanning reducer: recompute every applicable
     deletion after each step and pick by the deterministic priority.
     Quadratic; kept as the executable specification ({e test oracle})
     for {!run}/{!run_worklist}, which must match its verdicts {e and}
-    deletion sequences exactly. *)
+    deletion sequences exactly. Its profiler span records ["rescans"]
+    (full scans of the graph) instead of worklist pushes. *)
 
 val run_randomized : choose:(int -> int) -> Sequencing.t -> outcome
 (** Reduce applying, at each step, a uniformly chosen applicable
     deletion: [choose n] must return an index in [\[0, n)]. Used by the
     confluence property tests. *)
 
-val run_shared : Sequencing.t -> outcome
+val run_shared : ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> Sequencing.t -> outcome
 (** The deterministic strategy of {!run} with {!Rule3_shared} also
     enabled. Strictly more permissive than the paper's two rules: it
     additionally recognises bundles whose pieces all flow through one
@@ -82,7 +89,7 @@ val run_shared : Sequencing.t -> outcome
     that forwards nothing until all its deals are in
     ({!Trust_sim.Behavior.escrow}) — for the verdict to be safe. *)
 
-val run_worklist : Sequencing.t -> outcome
+val run_worklist : ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> Sequencing.t -> outcome
 (** Incremental reducer (what {!run} is): instead of re-scanning every
     node after each deletion (quadratic), it re-examines only the nodes
     a deletion can newly enable — the deleted edge's endpoints and the

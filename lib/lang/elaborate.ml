@@ -194,17 +194,45 @@ let web decls =
 let render_errors ?file errors =
   String.concat "\n" (List.map (fun e -> Format.asprintf "%a" (pp_error ?file) e) errors)
 
-let from_string ?file src =
-  match Parser.parse src with
+module Obs = Trust_obs.Obs
+
+(* Tracing wrappers for the two front-end phases. Spans carry virtual
+   sizes only (bytes in, declaration counts, error counts), so traces
+   stay deterministic; the null sink records nothing. *)
+let traced_parse obs parent src =
+  Obs.with_span obs ?parent ~phase:"parse" "parse" (fun h ->
+      let r = Parser.parse src in
+      if Obs.enabled obs then begin
+        Obs.attr obs h "bytes" (Obs.Int (String.length src));
+        match r with
+        | Ok ast -> Obs.attr obs h "decls" (Obs.Int (List.length ast))
+        | Error _ -> Obs.attr obs h "error" (Obs.Bool true)
+      end;
+      r)
+
+let traced_elaborate obs parent ast =
+  Obs.with_span obs ?parent ~phase:"elaborate" "elaborate" (fun h ->
+      let r = program ast in
+      if Obs.enabled obs then begin
+        match r with
+        | Ok spec ->
+          Obs.attr obs h "parties" (Obs.Int (List.length (Spec.parties spec)));
+          Obs.attr obs h "deals" (Obs.Int (List.length spec.Spec.deals))
+        | Error errors -> Obs.attr obs h "errors" (Obs.Int (List.length errors))
+      end;
+      r)
+
+let from_string ?(obs = Obs.null) ?parent ?file src =
+  match traced_parse obs parent src with
   | Error e -> Error (Format.asprintf "%a" (Parser.pp_error ?file) e)
   | Ok ast -> (
-    match program ast with
+    match traced_elaborate obs parent ast with
     | Ok spec -> Ok spec
     | Error errors -> Error (render_errors ?file errors))
 
-let from_file path =
+let from_file ?obs ?parent path =
   match In_channel.with_open_text path In_channel.input_all with
-  | src -> from_string ~file:path src
+  | src -> from_string ?obs ?parent ~file:path src
   | exception Sys_error message -> Error message
 
 let web_from_string ?file src =

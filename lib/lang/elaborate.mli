@@ -32,12 +32,18 @@ val web : Ast.program -> (web, error list) result
 val web_from_string : ?file:string -> string -> (web, string) result
 val web_from_file : string -> (web, string) result
 
-val from_string : ?file:string -> string -> (Spec.t, string) result
+val from_string :
+  ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> ?file:string -> string ->
+  (Spec.t, string) result
 (** Parse and elaborate; errors rendered as one human-readable string,
     one per line, sorted by source location, each prefixed
-    [file:line:col] (or [line:col] when no [file] is given). *)
+    [file:line:col] (or [line:col] without [file]). When a trace [obs]
+    is attached, a ["parse"] span (bytes, declaration count) and an
+    ["elaborate"] span (party/deal counts, error count) are opened
+    under [parent]; the default null sink records nothing. *)
 
-val from_file : string -> (Spec.t, string) result
+val from_file :
+  ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> string -> (Spec.t, string) result
 (** Like {!from_string} with [?file] set to [path], so errors carry the
     file name. *)
 

@@ -113,18 +113,22 @@ let sorted t =
 let to_text t =
   let buf = Buffer.create 1024 in
   let help name h = if h <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name h) in
+  let typ name kind = Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind) in
   List.iter
     (fun (name, metric) ->
       match metric with
       | Counter c ->
         help name c.c_help;
+        typ name "counter";
         Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Atomic.get c.count))
       | Gauge g when g.g_volatile -> ()
       | Gauge g ->
         help name g.g_help;
+        typ name "gauge";
         Buffer.add_string buf (Printf.sprintf "%s %.6f\n" name g.v)
       | Histogram h ->
         help name h.h_help;
+        typ name "histogram";
         let cumulative = ref 0 in
         Array.iteri
           (fun i n ->
@@ -139,6 +143,8 @@ let to_text t =
         Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.total))
     (sorted t);
   Buffer.contents buf
+
+let dump = to_text
 
 let to_json t =
   let metrics = sorted t in

@@ -49,9 +49,16 @@ val gauge : t -> ?help:string -> ?volatile:bool -> string -> float -> unit
     service applies to wall-clock throughput. *)
 
 val to_text : t -> string
-(** Prometheus-flavoured exposition: [# HELP] lines, counter samples,
-    [_bucket{le="…"}]/[_sum]/[_count] for histograms, gauges with fixed
-    6-decimal formatting. Volatile gauges are omitted. *)
+(** Prometheus exposition-format snapshot: [# HELP] and [# TYPE] lines,
+    counter samples, cumulative [_bucket{le="…"}] series ending in
+    [+Inf] plus [_sum]/[_count] for histograms, gauges with fixed
+    6-decimal formatting — all sorted by metric name. Volatile gauges
+    are omitted. test/test_metrics.ml checks this contract with a small
+    exposition parser. *)
+
+val dump : t -> string
+(** Alias for {!to_text} — the conventional name for a scrape-style
+    dump. *)
 
 val to_json : t -> string
 (** The same snapshot as one JSON object:

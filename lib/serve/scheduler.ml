@@ -1,6 +1,7 @@
 module Harness = Trust_sim.Harness
 module Engine = Trust_sim.Engine
 module Audit = Trust_sim.Audit
+module Obs = Trust_obs.Obs
 
 type config = {
   concurrency : int;
@@ -81,7 +82,8 @@ let recorders metrics =
 let record rec_opt f = Option.iter f rec_opt
 
 (* One engine run of an already-synthesized session. *)
-let run_once cfg (entry : Cache.entry) policy (session : Session.t) ~drops rec_opt =
+let run_once cfg ?(obs = Obs.null) ?parent (entry : Cache.entry) policy (session : Session.t)
+    ~drops rec_opt =
   session.Session.attempts <- session.Session.attempts + 1;
   let drop =
     if drops && cfg.drop_rate > 0. then
@@ -111,7 +113,7 @@ let run_once cfg (entry : Cache.entry) policy (session : Session.t) ~drops rec_o
       behaviors;
     }
   in
-  let result = Harness.run_cast ~config:engine_config cast in
+  let result = Harness.run_cast ~config:engine_config ~obs ?parent cast in
   let duration = max 1 (virtual_duration result) in
   session.Session.ticks <- session.Session.ticks + duration;
   session.Session.events <- session.Session.events + result.Engine.events;
@@ -122,7 +124,7 @@ let run_once cfg (entry : Cache.entry) policy (session : Session.t) ~drops rec_o
       Metrics.observe r.ticks_h duration;
       Metrics.observe r.events_h result.Engine.events);
   let report =
-    Audit.audit session.Session.spec ?plan:entry.Cache.plan
+    Audit.audit ~obs ?parent session.Session.spec ?plan:entry.Cache.plan
       ~defectors:(List.map fst session.Session.defectors)
       result
   in
@@ -135,7 +137,10 @@ let run_once cfg (entry : Cache.entry) policy (session : Session.t) ~drops rec_o
    [retried] tally. Sessions are independent end-to-end and the drop
    schedule is keyed on (seed, session, seq), so this runs bit-for-bit
    identically from any domain in any order. *)
-let process_session cfg cache policy rec_opt retried (session : Session.t) =
+let process_session cfg cache policy rec_opt retried obs (session : Session.t) =
+  Obs.with_span obs ~phase:"session"
+    (if Obs.enabled obs then Printf.sprintf "session.%d" session.Session.id else "session")
+    (fun root ->
   record rec_opt (fun r -> Metrics.incr r.admitted);
   Session.transition session Session.Synthesizing;
   (* Admission lint: structural (cheap) rules only — error-level
@@ -143,7 +148,7 @@ let process_session cfg cache policy rec_opt retried (session : Session.t) =
   let lint_errors =
     List.filter
       (fun d -> d.Trust_analyze.Diagnostic.severity = Trust_analyze.Diagnostic.Error)
-      (Trust_analyze.Lint.check_spec ~deep:false session.Session.spec)
+      (Trust_analyze.Lint.check_spec ~obs ~parent:root ~deep:false session.Session.spec)
   in
   (match lint_errors with
   | first :: _ ->
@@ -158,7 +163,20 @@ let process_session cfg cache policy rec_opt retried (session : Session.t) =
         Metrics.incr r.lint_rejected;
         Metrics.incr r.aborted)
   | [] ->
-    let verdict, outcome = Cache.synthesize cache session.Session.spec in
+    let verdict, outcome =
+      (* Which of two racing sessions takes the miss for a shared shape
+         depends on domain scheduling, so hit/miss is volatile; the
+         bypass decision (Shape.cacheable) and the verify flag are
+         functions of the spec and policy alone, hence deterministic. *)
+      Obs.with_span obs ~parent:root ~phase:"serve" "serve.synthesize" (fun h ->
+          let verdict, outcome = Cache.synthesize cache session.Session.spec in
+          if Obs.enabled obs then begin
+            Obs.attr obs h "bypass" (Obs.Bool (outcome = `Bypass));
+            Obs.attr obs h "verify" (Obs.Bool policy.Cache.verify);
+            Obs.volatile_attr obs h "cache_hit" (Obs.Bool (outcome = `Hit))
+          end;
+          (verdict, outcome))
+    in
     session.Session.cache_hit <- outcome = `Hit;
     record rec_opt (fun r ->
         match outcome with
@@ -172,7 +190,7 @@ let process_session cfg cache policy rec_opt retried (session : Session.t) =
       record rec_opt (fun r -> Metrics.incr r.aborted)
     | Ok entry -> (
       Session.transition session Session.Running;
-      let status = run_once cfg entry policy session ~drops:true rec_opt in
+      let status = run_once cfg ~obs ~parent:root entry policy session ~drops:true rec_opt in
       Session.transition session status;
       match status with
       | Session.Expired when cfg.retry && cfg.drop_rate > 0. ->
@@ -183,20 +201,33 @@ let process_session cfg cache policy rec_opt retried (session : Session.t) =
         Session.transition session Session.Queued;
         Session.transition session Session.Synthesizing;
         Session.transition session Session.Running;
-        Session.transition session (run_once cfg entry policy session ~drops:false rec_opt)
+        Session.transition session
+          (run_once cfg ~obs ~parent:root entry policy session ~drops:false rec_opt)
       | _ -> ())));
+  if Obs.enabled obs then begin
+    Obs.attr obs root "status" (Obs.Str (Session.status_label session.Session.status));
+    Obs.attr obs root "attempts" (Obs.Int session.Session.attempts);
+    Obs.attr obs root "ticks" (Obs.Int session.Session.ticks);
+    Obs.attr obs root "events" (Obs.Int session.Session.events)
+  end;
   match session.Session.status with
   | Session.Settled -> record rec_opt (fun r -> Metrics.incr r.settled)
   | Session.Expired -> record rec_opt (fun r -> Metrics.incr r.expired)
-  | _ -> ()
+  | _ -> ())
 
-let run ?metrics cfg cache sessions =
+let run ?metrics ?(obs = Obs.no_batch) cfg cache sessions =
   if cfg.concurrency < 1 then invalid_arg "Scheduler.run: concurrency must be >= 1";
   if cfg.jobs < 1 then invalid_arg "Scheduler.run: jobs must be >= 1";
   let rec_opt = recorders metrics in
   let retried = Atomic.make 0 in
   let policy = Cache.policy cache in
-  let process session = process_session cfg cache policy rec_opt retried session in
+  let process (session : Session.t) =
+    (* Each slot of the batch registry is touched by exactly one job —
+       the one running its session — so traces need no locking; the
+       pool's shutdown join publishes them before the merge phase. *)
+    let trace = Obs.session_trace obs session.Session.id in
+    process_session cfg cache policy rec_opt retried trace session
+  in
   (* Phase 1 — execute. Every session owns its mutable record, the
      cache is sharded behind per-shard locks and the metrics are
      atomic, so whole sessions run in parallel; [Pool.shutdown]'s join
@@ -242,7 +273,17 @@ let run ?metrics cfg cache sessions =
       let lane = least_loaded () in
       session.Session.started_at <- lanes.(lane);
       session.Session.finished_at <- session.Session.started_at + session.Session.ticks;
-      lanes.(lane) <- session.Session.finished_at)
+      lanes.(lane) <- session.Session.finished_at;
+      (* Placement replays identically at any [jobs] (sequential, in
+         submission order, over per-session virtual durations), so it
+         may ride in the deterministic trace as a child of the root. *)
+      let trace = Obs.session_trace obs session.Session.id in
+      if Obs.enabled trace then
+        Obs.with_span trace ~parent:(Obs.first_root trace) ~phase:"serve" "serve.place"
+          (fun h ->
+            Obs.attr trace h "lane" (Obs.Int lane);
+            Obs.attr trace h "started_at" (Obs.Int session.Session.started_at);
+            Obs.attr trace h "finished_at" (Obs.Int session.Session.finished_at)))
     sessions;
   let makespan = Array.fold_left max 0 lanes in
   { makespan; retried = Atomic.get retried }

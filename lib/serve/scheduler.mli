@@ -49,11 +49,21 @@ type stats = {
   retried : int;
 }
 
-val run : ?metrics:Metrics.t -> config -> Cache.t -> Session.t list -> stats
+val run :
+  ?metrics:Metrics.t -> ?obs:Trust_obs.Obs.batch -> config -> Cache.t -> Session.t list -> stats
 (** Drive every session through its lifecycle: synthesize through the
     cache, rebuild fresh behaviours, run the engine with the session's
     deadline, audit, classify ([Settled] iff the audit reached every
     party's preferred outcome). When [metrics] is given, records
     session counters, engine event counters and tick/event histograms,
     plus the [serve_pool_*] gauges when [jobs > 1]. Re-raises the first
-    exception a worker's session raised, after joining the pool. *)
+    exception a worker's session raised, after joining the pool.
+
+    When [obs] is an enabled {!Trust_obs.Obs.batch}, each session
+    records into its own trace slot: a root [session.N] span with
+    admission-lint, synthesis, simulate and audit children, plus a
+    [serve.place] child added during the sequential merge phase. Slots
+    are written by exactly one pool job each and published by the
+    shutdown join, so span sets are byte-identical at any [jobs];
+    cache hit/miss — which races across jobs — is recorded as a
+    volatile attribute that exporters skip. *)

@@ -19,6 +19,7 @@ type config = {
   drop_rate : float;
   retry : bool;
   defect_every : int option;
+  trace : bool;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     drop_rate = 0.;
     retry = true;
     defect_every = None;
+    trace = false;
   }
 
 type outcome = {
@@ -48,6 +50,7 @@ type outcome = {
   cache : Cache.t;
   stats : Scheduler.stats;
   wall_seconds : float;
+  obs : Trust_obs.Obs.batch;
 }
 
 type tally = { settled : int; expired : int; aborted : int }
@@ -104,10 +107,11 @@ let run (config : config) =
       seed = Shape.mix64 config.seed;
     }
   in
+  let obs = Trust_obs.Obs.batch ~enabled:config.trace ~sessions:config.sessions in
   (* gettimeofday, not [Sys.time]: CPU time sums over worker domains
      and would hide (or invert) any multicore speedup *)
   let started = Unix.gettimeofday () in
-  let stats = Scheduler.run ~metrics scheduler_config cache sessions in
+  let stats = Scheduler.run ~metrics ~obs scheduler_config cache sessions in
   let wall_seconds = Unix.gettimeofday () -. started in
   Metrics.gauge metrics ~help:"protocol cache hit rate over cacheable lookups"
     "serve_cache_hit_rate" (Cache.hit_rate cache);
@@ -117,7 +121,7 @@ let run (config : config) =
      else float_of_int config.sessions *. 1000. /. float_of_int stats.Scheduler.makespan);
   Metrics.gauge metrics ~help:"virtual makespan of the batch (ticks)" "serve_makespan_ticks"
     (float_of_int stats.Scheduler.makespan);
-  { config; sessions; metrics; cache; stats; wall_seconds }
+  { config; sessions; metrics; cache; stats; wall_seconds; obs }
 
 let virtual_throughput outcome =
   if outcome.stats.Scheduler.makespan = 0 then 0.

@@ -27,6 +27,9 @@ type config = {
   defect_every : int option;
       (** inject a [Silent] defector into every n-th session (its first
           defectable principal), for adversarial batches *)
+  trace : bool;
+      (** record a per-session {!Trust_obs.Obs} trace for the whole
+          batch; off by default — the null sink costs nothing *)
 }
 
 val default : config
@@ -40,6 +43,9 @@ type outcome = {
   cache : Cache.t;
   stats : Scheduler.stats;
   wall_seconds : float;
+  obs : Trust_obs.Obs.batch;
+      (** the batch trace registry — disabled unless [config.trace];
+          pass {!Trust_obs.Obs.batch_traces} to {!Trust_obs.Obs.export} *)
 }
 
 type tally = { settled : int; expired : int; aborted : int }

@@ -1,5 +1,6 @@
 open Exchange
 module Indemnity = Trust_core.Indemnity
+module Obs = Trust_obs.Obs
 
 type verdict = {
   party : Party.t;
@@ -26,7 +27,8 @@ let bag_totals bags =
       (money + Asset.Bag.balance bag, docs))
     (0, 0) bags
 
-let audit spec ?plan ?(defectors = []) (result : Engine.result) =
+let audit ?(obs = Obs.null) ?parent spec ?plan ?(defectors = []) (result : Engine.result) =
+  Obs.with_span obs ?parent ~phase:"audit" "audit" (fun span ->
   let deposits = match plan with Some p -> p.Indemnity.offers | None -> [] in
   (* Judge against the split spec: accepted indemnities redefine the
      parties' acceptable states (§6). *)
@@ -60,13 +62,23 @@ let audit spec ?plan ?(defectors = []) (result : Engine.result) =
          result.Engine.holdings)
   in
   let final_total = bag_totals (List.map snd result.Engine.holdings) in
-  {
-    verdicts;
-    honest_all_acceptable;
-    honest_no_loss;
-    all_preferred;
-    conserved = initial_total = final_total;
-  }
+  let report =
+    {
+      verdicts;
+      honest_all_acceptable;
+      honest_no_loss;
+      all_preferred;
+      conserved = initial_total = final_total;
+    }
+  in
+  if Obs.enabled obs then begin
+    Obs.attr obs span "verdicts" (Obs.Int (List.length report.verdicts));
+    Obs.attr obs span "honest_all_acceptable" (Obs.Bool report.honest_all_acceptable);
+    Obs.attr obs span "honest_no_loss" (Obs.Bool report.honest_no_loss);
+    Obs.attr obs span "all_preferred" (Obs.Bool report.all_preferred);
+    Obs.attr obs span "conserved" (Obs.Bool report.conserved)
+  end;
+  report)
 
 let pp_report ppf r =
   Format.fprintf ppf "@[<v>audit: honest-acceptable=%b honest-no-loss=%b all-preferred=%b conserved=%b"

@@ -30,6 +30,8 @@ type report = {
 }
 
 val audit :
+  ?obs:Trust_obs.Obs.t ->
+  ?parent:Trust_obs.Obs.handle ->
   Spec.t ->
   ?plan:Trust_core.Indemnity.plan ->
   ?defectors:Party.t list ->
@@ -38,6 +40,7 @@ val audit :
 (** Judge the run. Trusted roles with a persona are skipped (their
     actions are judged as their principal's). Conservation compares
     final holdings against initial endowments moved by the delivered
-    actions. *)
+    actions. [obs]/[parent] attach an ["audit"] span (verdict tallies
+    and the four report booleans) to a trace. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,5 +1,6 @@
 open Exchange
 module Indemnity = Trust_core.Indemnity
+module Obs = Trust_obs.Obs
 
 type config = {
   latency : int;
@@ -55,6 +56,33 @@ let initial_endowment spec ~deposits party =
 
 type event = Deliver of Action.t | Fire_expiry of string | Fire_deadline
 
+(* Best-effort deal attribution for trace events: the first deal one of
+   whose commitments sends or expects the transferred asset. Only
+   evaluated when a trace is attached — never on the hot path. *)
+let owning_deal spec action =
+  let transfer =
+    match action with
+    | Action.Do tr | Action.Undo tr -> Some tr
+    | Action.Notify _ -> None
+  in
+  match transfer with
+  | None -> None
+  | Some tr ->
+    List.find_map
+      (fun (d : Spec.deal) ->
+        let matches side =
+          Asset.equal (Spec.commitment_sends d side) tr.Action.asset
+          || Asset.equal (Spec.commitment_expects d side) tr.Action.asset
+        in
+        if matches Spec.Left || matches Spec.Right then Some d.Spec.id else None)
+      spec.Spec.deals
+
+let action_attrs spec ~at action =
+  let base = [ ("at", Obs.Int at); ("action", Obs.Str (Action.to_string action)) ] in
+  match owning_deal spec action with
+  | Some deal -> ("deal", Obs.Str deal) :: base
+  | None -> base
+
 (* Asset flow of an action: (debited party, credited party, asset).
    Notifications carry nothing. *)
 let flow = function
@@ -62,7 +90,7 @@ let flow = function
   | Action.Undo tr -> Some (tr.Action.target, tr.Action.source, tr.Action.asset)
   | Action.Notify _ -> None
 
-let run ?(config = default_config) spec ~deposits ~behaviors =
+let run ?(config = default_config) ?(obs = Obs.null) ?(span = Obs.none) spec ~deposits ~behaviors =
   let queue = Event_queue.create () in
   let holdings : (string, Asset.Bag.t) Hashtbl.t = Hashtbl.create 16 in
   let bag_of party =
@@ -90,7 +118,13 @@ let run ?(config = default_config) spec ~deposits ~behaviors =
     let dropped () =
       let seq = !performed in
       incr performed;
-      match config.drop with Some drop -> drop seq action | None -> false
+      match config.drop with
+      | Some drop ->
+        let lost = drop seq action in
+        if lost && Obs.enabled obs then
+          Obs.event obs span "drop" ~attrs:(("seq", Obs.Int seq) :: action_attrs spec ~at:now action);
+        lost
+      | None -> false
     in
     match flow action with
     | None -> if not (dropped ()) then
@@ -103,10 +137,19 @@ let run ?(config = default_config) spec ~deposits ~behaviors =
           (* lost in transit: the courier returns it *)
           set_bag debit (Asset.Bag.add asset (bag_of debit))
         else Event_queue.push queue ~time:(now + config.latency) (Deliver action)
-      | None -> pending := !pending @ [ (party, action) ])
+      | None ->
+        if Obs.enabled obs then
+          Obs.event obs span "park"
+            ~attrs:(("party", Obs.Str (Party.name party)) :: action_attrs spec ~at:now action);
+        pending := !pending @ [ (party, action) ])
   and retry_pending now party =
     let mine, others = List.partition (fun (p, _) -> Party.equal p party) !pending in
     pending := others;
+    if mine <> [] && Obs.enabled obs then
+      Obs.event obs span "retry"
+        ~attrs:
+          [ ("party", Obs.Str (Party.name party)); ("parked", Obs.Int (List.length mine));
+            ("at", Obs.Int now) ];
     List.iter (fun (p, action) -> perform now p action) mine
   and observe now party obs =
     match behavior_of party with
@@ -131,14 +174,20 @@ let run ?(config = default_config) spec ~deposits ~behaviors =
       | None -> ()
       | Some (now, Fire_expiry deal_id) ->
         incr events;
+        if Obs.enabled obs then
+          Obs.event obs span "expire"
+            ~attrs:[ ("deal", Obs.Str deal_id); ("at", Obs.Int now) ];
         List.iter (fun b -> observe now (Behavior.party b) (Behavior.Expired deal_id)) behaviors;
         drain ()
       | Some (now, Fire_deadline) ->
         incr events;
+        if Obs.enabled obs then Obs.event obs span "deadline" ~attrs:[ ("at", Obs.Int now) ];
         List.iter (fun b -> observe now (Behavior.party b) Behavior.Deadline) behaviors;
         drain ()
       | Some (now, Deliver action) ->
         incr events;
+        if Obs.enabled obs then
+          Obs.event obs span "deliver" ~attrs:(action_attrs spec ~at:now action);
         state := State.record action !state;
         log := { at = now; action } :: !log;
         (match flow action with

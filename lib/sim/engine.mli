@@ -52,10 +52,17 @@ val initial_endowment : Spec.t -> deposits:Trust_core.Indemnity.offer list -> Pa
 
 val run :
   ?config:config ->
+  ?obs:Trust_obs.Obs.t ->
+  ?span:Trust_obs.Obs.handle ->
   Spec.t ->
   deposits:Trust_core.Indemnity.offer list ->
   behaviors:Behavior.t list ->
   result
-(** Simulate. Behaviours are started in list order at time zero. *)
+(** Simulate. Behaviours are started in list order at time zero.
+    [obs]/[span] attach runtime events to a trace span: ["deliver"],
+    ["park"], ["retry"], ["expire"], ["deadline"] and ["drop"], each
+    carrying the engine tick as an [at] attribute and — for transfers —
+    the owning deal. The default null sink records nothing and costs
+    nothing. *)
 
 val pp_result : Format.formatter -> result -> unit

@@ -2,6 +2,7 @@ open Exchange
 module Protocol = Trust_core.Protocol
 module Indemnity = Trust_core.Indemnity
 module Feasibility = Trust_core.Feasibility
+module Obs = Trust_obs.Obs
 
 type mode = Lockstep | Distributed
 
@@ -95,30 +96,45 @@ let behaviors_for ?(shared = false) ?plan ?(defectors = []) ~mode split_spec pro
   List.map principal_behavior (Spec.principals split_spec)
   @ List.filter_map trusted_behavior (Spec.trusted_agents split_spec)
 
-let assemble ?(mode = Lockstep) ?(shared = false) ?plan ?(defectors = []) spec =
+let assemble ?(obs = Obs.null) ?parent ?(mode = Lockstep) ?(shared = false) ?plan
+    ?(defectors = []) spec =
+  Obs.with_span obs ?parent ~phase:"route" "route.assemble" (fun h ->
   let split_spec =
     match plan with Some plan -> Indemnity.apply plan spec | None -> spec
   in
   let analysis = Feasibility.analyze ~shared split_spec in
-  match analysis.Feasibility.sequence with
-  | None -> Error "infeasible: no protocol can be synthesized"
-  | Some sequence -> (
-    (* Independent safety pass (§5 protection invariant) over every
-       sequence we are about to hand to behaviours: the synthesizer is
-       never its own witness. *)
-    match Trust_analyze.Verifier.verify sequence with
-    | Error exposures ->
-      Error
-        (Printf.sprintf "unsafe execution sequence:\n%s"
-           (Trust_analyze.Verifier.explain exposures))
-    | Ok () ->
-    let protocol =
-      match mode with
-      | Lockstep -> Protocol.synthesize_lockstep ~prologue:(deposit_actions plan) sequence
-      | Distributed -> Protocol.synthesize sequence
-    in
-    let behaviors = behaviors_for ~shared ?plan ~defectors ~mode split_spec protocol in
-    Ok { spec = split_spec; plan; mode; protocol; behaviors })
+  let outcome =
+    match analysis.Feasibility.sequence with
+    | None -> Error "infeasible: no protocol can be synthesized"
+    | Some sequence -> (
+      (* Independent safety pass (§5 protection invariant) over every
+         sequence we are about to hand to behaviours: the synthesizer is
+         never its own witness. *)
+      match Trust_analyze.Verifier.verify sequence with
+      | Error exposures ->
+        Error
+          (Printf.sprintf "unsafe execution sequence:\n%s"
+             (Trust_analyze.Verifier.explain exposures))
+      | Ok () ->
+      let protocol =
+        match mode with
+        | Lockstep -> Protocol.synthesize_lockstep ~prologue:(deposit_actions plan) sequence
+        | Distributed -> Protocol.synthesize sequence
+      in
+      let behaviors = behaviors_for ~shared ?plan ~defectors ~mode split_spec protocol in
+      Ok { spec = split_spec; plan; mode; protocol; behaviors })
+  in
+  if Obs.enabled obs then begin
+    Obs.attr obs h "mode"
+      (Obs.Str (match mode with Lockstep -> "lockstep" | Distributed -> "distributed"));
+    match outcome with
+    | Ok cast ->
+      Obs.attr obs h "behaviors" (Obs.Int (List.length cast.behaviors));
+      Obs.attr obs h "indemnified" (Obs.Bool (cast.plan <> None))
+    | Error reason ->
+      Obs.attr obs h "error" (Obs.Str reason)
+  end;
+  outcome)
 
 let config_for cast config =
   let base = Option.value ~default:Engine.default_config config in
@@ -126,15 +142,27 @@ let config_for cast config =
   | Lockstep -> { base with Engine.broadcast = true }
   | Distributed -> base
 
-let run_cast ?config cast =
+let run_cast ?config ?(obs = Obs.null) ?parent cast =
   let deposits = match cast.plan with Some p -> p.Indemnity.offers | None -> [] in
-  Engine.run ~config:(config_for cast config) cast.spec ~deposits ~behaviors:cast.behaviors
+  Obs.with_span obs ?parent ~phase:"simulate" "simulate" (fun h ->
+      let result =
+        Engine.run ~config:(config_for cast config) ~obs ~span:h cast.spec ~deposits
+          ~behaviors:cast.behaviors
+      in
+      if Obs.enabled obs then begin
+        Obs.attr obs h "events" (Obs.Int result.Engine.events);
+        Obs.attr obs h "deliveries" (Obs.Int (List.length result.Engine.log));
+        Obs.attr obs h "stalled" (Obs.Int (List.length result.Engine.stalled))
+      end;
+      result)
 
-let honest_run ?config ?mode ?shared ?plan spec =
-  Result.map (run_cast ?config) (assemble ?mode ?shared ?plan spec)
+let honest_run ?config ?obs ?parent ?mode ?shared ?plan spec =
+  Result.map (run_cast ?config ?obs ?parent) (assemble ?obs ?parent ?mode ?shared ?plan spec)
 
-let adversarial_run ?config ?mode ?shared ?plan ~defectors spec =
-  Result.map (run_cast ?config) (assemble ?mode ?shared ?plan ?defectors:(Some defectors) spec)
+let adversarial_run ?config ?obs ?parent ?mode ?shared ?plan ~defectors spec =
+  Result.map
+    (run_cast ?config ?obs ?parent)
+    (assemble ?obs ?parent ?mode ?shared ?plan ?defectors:(Some defectors) spec)
 
 (* §8's universal-intermediary protocol (see the interface). *)
 let universal_run ?config ?(defectors = []) spec =

@@ -50,6 +50,8 @@ val behaviors_for :
     serve-layer protocol cache) must call this once per run. *)
 
 val assemble :
+  ?obs:Trust_obs.Obs.t ->
+  ?parent:Trust_obs.Obs.handle ->
   ?mode:mode ->
   ?shared:bool ->
   ?plan:Trust_core.Indemnity.plan ->
@@ -62,14 +64,22 @@ val assemble :
     in [defectors] — and escrow automata for every non-persona trusted
     role (atomic when the agent mediates several deals). [mode] defaults
     to [Lockstep]; [shared] enables the shared-agent reduction rule.
-    [Error] when the (split) spec is infeasible. *)
+    [Error] when the (split) spec is infeasible. [obs]/[parent] attach a
+    ["route"] span (mode, behaviour count) to a trace; the inner
+    feasibility re-analysis is deliberately uninstrumented so a pipeline
+    trace carries exactly one reduce span per phase. *)
 
 val honest_run :
-  ?config:Engine.config -> ?mode:mode -> ?shared:bool -> ?plan:Trust_core.Indemnity.plan ->
+  ?config:Engine.config ->
+  ?obs:Trust_obs.Obs.t ->
+  ?parent:Trust_obs.Obs.handle ->
+  ?mode:mode -> ?shared:bool -> ?plan:Trust_core.Indemnity.plan ->
   Spec.t -> (Engine.result, string) result
 
 val adversarial_run :
   ?config:Engine.config ->
+  ?obs:Trust_obs.Obs.t ->
+  ?parent:Trust_obs.Obs.handle ->
   ?mode:mode ->
   ?shared:bool ->
   ?plan:Trust_core.Indemnity.plan ->
@@ -77,8 +87,12 @@ val adversarial_run :
   Spec.t ->
   (Engine.result, string) result
 
-val run_cast : ?config:Engine.config -> cast -> Engine.result
-(** Runs with the cast's mode (lockstep forces broadcast delivery). *)
+val run_cast :
+  ?config:Engine.config -> ?obs:Trust_obs.Obs.t -> ?parent:Trust_obs.Obs.handle -> cast ->
+  Engine.result
+(** Runs with the cast's mode (lockstep forces broadcast delivery).
+    [obs]/[parent] attach a ["simulate"] span whose child events are the
+    engine's deliver/park/retry/expire/deadline/drop timeline. *)
 
 val universal_run :
   ?config:Engine.config ->

@@ -1,0 +1,179 @@
+(* The tracing layer: null-sink cost model, exporter shape, the reduce
+   profiler, and the two determinism properties the contract promises —
+   tracing never perturbs results, and span sets are byte-identical at
+   any --jobs. *)
+
+module Obs = Trust_obs.Obs
+module Harness = Trust_sim.Harness
+module Engine = Trust_sim.Engine
+module Audit = Trust_sim.Audit
+module Service = Trust_serve.Service
+module Session = Trust_serve.Session
+module Reduce = Trust_core.Reduce
+module Sequencing = Trust_core.Sequencing
+module Gen = Workload.Gen
+module Prng = Workload.Prng
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec at i = i + k <= n && (String.sub haystack i k = needle || at (i + 1)) in
+  at 0
+
+let count haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec at i acc =
+    if i + k > n then acc
+    else at (i + 1) (if String.sub haystack i k = needle then acc + 1 else acc)
+  in
+  at 0 0
+
+(* -- the null sink records nothing and exports nothing -- *)
+
+let test_null_sink () =
+  let obs = Obs.null in
+  check "null is disabled" false (Obs.enabled obs);
+  let h = Obs.span obs ~phase:"x" "y" in
+  Obs.event obs h "e";
+  Obs.attr obs h "k" (Obs.Int 1);
+  Obs.finish obs h;
+  check_string "empty jsonl" "" (Obs.export Obs.Jsonl [ obs ]);
+  check_string "empty chrome array" "[]\n" (Obs.export Obs.Chrome [ obs ]);
+  check_string "empty tree" "" (Obs.export Obs.Tree [ obs ])
+
+(* -- virtual timestamps: identical op sequences export byte-identically -- *)
+
+let build_trace () =
+  let obs = Obs.create ~session:7 () in
+  Obs.with_span obs ~phase:"pipeline" "root" (fun root ->
+      Obs.attr obs root "k" (Obs.Str "v");
+      Obs.with_span obs ~parent:root ~phase:"inner" "child" (fun child ->
+          Obs.event obs child ~attrs:[ ("n", Obs.Int 3) ] "tick"));
+  obs
+
+let test_deterministic_export () =
+  let a = build_trace () and b = build_trace () in
+  List.iter
+    (fun fmt ->
+      check_string "same ops, same bytes" (Obs.export fmt [ a ]) (Obs.export fmt [ b ]))
+    [ Obs.Jsonl; Obs.Chrome; Obs.Tree ]
+
+let test_volatile_attrs_never_exported () =
+  let obs = Obs.create () in
+  Obs.with_span obs ~phase:"p" "s" (fun h ->
+      Obs.attr obs h "stable" (Obs.Int 1);
+      Obs.volatile_attr obs h "racy" (Obs.Bool true));
+  List.iter
+    (fun fmt ->
+      let out = Obs.export fmt [ obs ] in
+      check "deterministic attr exported" true (contains out "stable");
+      check "volatile attr quarantined" false (contains out "racy"))
+    [ Obs.Jsonl; Obs.Chrome; Obs.Tree ]
+
+(* -- the reduce profiler: per-rule counters and the deletion timeline -- *)
+
+let test_reduce_profiler () =
+  let g = Sequencing.build Workload.Scenarios.example1 in
+  let obs = Obs.create () in
+  let outcome = Reduce.run ~obs g in
+  check "example1 feasible" true (Reduce.feasible outcome);
+  let out = Obs.export Obs.Jsonl [ obs ] in
+  check "reduce span present" true (contains out "\"phase\":\"reduce\"");
+  check_int "one delete event per deletion" (List.length outcome.Reduce.deletions)
+    (count out "\"name\":\"delete\"");
+  (* example1 (Fig. 5): three rule-1 and three rule-2 deletions *)
+  check "rule1 counter" true (contains out "\"rule1\":3");
+  check "rule2 counter" true (contains out "\"rule2\":3");
+  check "steps counter" true (contains out "\"steps\":6");
+  check "worklist pushes profiled" true (contains out "\"worklist_pushes\":");
+  check "verdict attr" true (contains out "\"verdict\":\"feasible\"")
+
+(* -- property: tracing on leaves every result byte-identical -- *)
+
+let engine_digest r = Format.asprintf "%a" Engine.pp_result r
+
+let test_tracing_is_passive () =
+  let rng = Prng.create 77L in
+  let specs = Gen.random_transactions rng Gen.default_mix 100 in
+  List.iteri
+    (fun i spec ->
+      let quiet = Harness.honest_run spec in
+      let obs = Obs.create ~session:i () in
+      let traced =
+        Obs.with_span obs ~phase:"pipeline" "root" (fun root ->
+            Harness.honest_run ~obs ~parent:root spec)
+      in
+      match (quiet, traced) with
+      | Error a, Error b -> check_string "same infeasibility" a b
+      | Ok a, Ok b ->
+        check_string "same engine result" (engine_digest a) (engine_digest b);
+        check_string "same audit"
+          (Format.asprintf "%a" Audit.pp_report (Audit.audit spec a))
+          (Format.asprintf "%a" Audit.pp_report
+             (Audit.audit ~obs ~parent:(Obs.first_root obs) spec b))
+      | Ok _, Error _ | Error _, Ok _ ->
+        Alcotest.fail (Printf.sprintf "spec %d: verdict diverged with tracing on" i))
+    specs
+
+(* -- the serve layer: trace on/off parity, and jobs-independence of spans -- *)
+
+let batch ~jobs ~trace =
+  Service.run
+    {
+      Service.default with
+      Service.sessions = 60;
+      seed = 19L;
+      concurrency = 4;
+      jobs;
+      drop_rate = 0.05;
+      defect_every = Some 8;
+      trace;
+    }
+
+let test_batch_trace_parity () =
+  let off = batch ~jobs:1 ~trace:false and on = batch ~jobs:1 ~trace:true in
+  check_string "snapshot identical with tracing on" (Service.json off) (Service.json on);
+  List.iter2
+    (fun (x : Session.t) (y : Session.t) ->
+      check_string "same verdict" (Session.status_label x.Session.status)
+        (Session.status_label y.Session.status);
+      check_int "same ticks" x.Session.ticks y.Session.ticks;
+      check_int "same events" x.Session.events y.Session.events)
+    off.Service.sessions on.Service.sessions;
+  check "trace registry disabled by default" false (Obs.batch_enabled off.Service.obs);
+  check "trace registry enabled on demand" true (Obs.batch_enabled on.Service.obs)
+
+let test_batch_spans_jobs_identical () =
+  let a = batch ~jobs:1 ~trace:true and b = batch ~jobs:4 ~trace:true in
+  let export fmt o = Obs.export fmt (Obs.batch_traces o.Service.obs) in
+  check_string "jsonl spans identical at jobs 1 vs 4" (export Obs.Jsonl a) (export Obs.Jsonl b);
+  check_string "chrome spans identical at jobs 1 vs 4" (export Obs.Chrome a)
+    (export Obs.Chrome b);
+  check_int "one trace per session" 60 (List.length (Obs.batch_traces a.Service.obs));
+  let out = export Obs.Jsonl a in
+  (* every session carries the serve pipeline: root + lint + synthesize
+     + simulate + audit + placement *)
+  check_int "one root span per session" 60 (count out "\"parent\":null");
+  check_int "one placement span per session" 60 (count out "\"name\":\"serve.place\"");
+  check "cache hit/miss never exported" false (contains out "cache_hit")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "sink",
+        [
+          Alcotest.test_case "null sink" `Quick test_null_sink;
+          Alcotest.test_case "deterministic export" `Quick test_deterministic_export;
+          Alcotest.test_case "volatile quarantine" `Quick test_volatile_attrs_never_exported;
+        ] );
+      ("profiler", [ Alcotest.test_case "reduce counters" `Quick test_reduce_profiler ]);
+      ( "determinism",
+        [
+          Alcotest.test_case "tracing is passive (100 specs)" `Quick test_tracing_is_passive;
+          Alcotest.test_case "batch trace on/off parity" `Quick test_batch_trace_parity;
+          Alcotest.test_case "batch spans jobs-independent" `Quick test_batch_spans_jobs_identical;
+        ] );
+    ]

@@ -204,6 +204,36 @@ let test_jobs_bit_identical () =
   check_string "metrics identical modulo pool gauges" (metrics_sans_pool a.Service.metrics)
     (metrics_sans_pool b.Service.metrics)
 
+(* The serve_pool_* telemetry: at jobs=1 no pool exists and the
+   volatile channel is empty (so `trustseq batch` prints no gauge line
+   even under --debug-gauges); at jobs>1 the scheduling-dependent
+   gauges appear on the volatile channel only, while the deterministic
+   worker-count gauge stays in the snapshot. *)
+let test_pool_gauges_quarantined () =
+  let contains hay needle =
+    let n = String.length hay and k = String.length needle in
+    let rec at i = i + k <= n && (String.sub hay i k = needle || at (i + 1)) in
+    at 0
+  in
+  let run jobs =
+    Service.run
+      { Service.default with Service.sessions = 24; seed = 5L; concurrency = 4; jobs }
+  in
+  let seq = run 1 and par = run 4 in
+  check_string "no volatile gauges at jobs=1" "" (Metrics.volatile_text seq.Service.metrics);
+  check "no pool series in the sequential snapshot" false
+    (contains (Metrics.to_text seq.Service.metrics) "serve_pool_");
+  let vol = Metrics.volatile_text par.Service.metrics in
+  check "queue peak on the volatile channel" true (contains vol "serve_pool_queue_peak");
+  check "worker waits on the volatile channel" true (contains vol "serve_pool_worker_waits");
+  check "submit waits on the volatile channel" true (contains vol "serve_pool_submit_waits");
+  let snap = Metrics.to_text par.Service.metrics in
+  check "worker count stays in the snapshot" true (contains snap "serve_pool_workers");
+  check "queue peak quarantined from the snapshot" false
+    (contains snap "serve_pool_queue_peak");
+  check "wait counts quarantined from the snapshot" false
+    (contains snap "serve_pool_worker_waits")
+
 let test_service_deterministic () =
   let config =
     {
@@ -244,5 +274,6 @@ let () =
         [
           Alcotest.test_case "deterministic outcome" `Quick test_service_deterministic;
           Alcotest.test_case "jobs 1 = jobs 4, bit for bit" `Quick test_jobs_bit_identical;
+          Alcotest.test_case "pool gauges quarantined" `Quick test_pool_gauges_quarantined;
         ] );
     ]
