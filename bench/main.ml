@@ -14,6 +14,9 @@
 
      main.exe --parallel-json multicore scaling sweep over --jobs 1/2/4/8, JSON
                               on stdout (the BENCH_parallel.json baseline)
+     main.exe --obs-json      tracing overhead: the serve workload with the
+                              batch trace registry off vs on, JSON on stdout
+                              (the BENCH_obs.json baseline)
 *)
 
 open Exchange
@@ -707,6 +710,33 @@ let parallel_json () =
     (Domain.recommended_domain_count ())
     digests_match (String.concat "," entries)
 
+(* Tracing overhead: the identical serve workload with the batch trace
+   registry off and on. The claim-bearing number is the ratio —
+   docs/OBS.md promises the disabled path is near-free and full
+   per-session tracing stays bounded; the span/event counts come from
+   the trace analytics layer, so they double as a determinism probe
+   (they are functions of the seed alone). The committed baseline
+   lives in BENCH_obs.json. *)
+
+let obs_json () =
+  let module Service = Trust_serve.Service in
+  let module Analysis = Trust_obs.Analysis in
+  let sessions = if !quick then 200 else 1000 in
+  let config trace = { Service.default with Service.sessions; seed = 42L; trace } in
+  (* warm once so neither side prices a cold allocator *)
+  ignore (Service.run (config false));
+  let off = Service.run (config false) in
+  let on = Service.run (config true) in
+  let analysis = Analysis.of_traces (Trust_obs.Obs.batch_traces on.Service.obs) in
+  let wall_off = off.Service.wall_seconds and wall_on = on.Service.wall_seconds in
+  let ratio = if wall_off > 0. then wall_on /. wall_off else 0. in
+  Printf.printf
+    "{\"bench\":\"obs_overhead\",\"version\":\"%s\",\"sessions\":%d,\"seed\":42,\"wall_seconds_off\":%.4f,\"wall_seconds_on\":%.4f,\"overhead_ratio\":%.3f,\"spans\":%d,\"events\":%d,\"traced_sessions\":%d}\n"
+    Trustseq_version.Version.v sessions wall_off wall_on ratio
+    (Analysis.span_count analysis)
+    (Analysis.event_count analysis)
+    (List.length (Analysis.sessions analysis))
+
 (* driver *)
 
 let experiments =
@@ -740,6 +770,10 @@ let () =
   end;
   if List.mem "--parallel-json" args then begin
     parallel_json ();
+    exit 0
+  end;
+  if List.mem "--obs-json" args then begin
+    obs_json ();
     exit 0
   end;
   let table =

@@ -18,28 +18,47 @@ let load ?obs ?parent path =
   | "-" -> Trust_lang.Elaborate.from_string ?obs ?parent ~file:"<stdin>" (In_channel.input_all stdin)
   | path -> Trust_lang.Elaborate.from_file ?obs ?parent path
 
+(* One message for every bad format flag across trace, trace-stats,
+   trace-diff and the --trace-format flags; always exit 2, before any
+   pipeline work runs. *)
+let invalid_format_die s valid =
+  Printf.eprintf "trustseq: invalid format %S (valid formats: %s)\n" s
+    (String.concat ", " valid);
+  exit 2
+
+let trace_format_or_die s =
+  match Obs.format_of_string s with
+  | Some fmt -> fmt
+  | None -> invalid_format_die s Obs.format_names
+
 (* Shared by `trace` and the --trace flags: render and land a trace.
    '-' means stdout — batch refuses it so the deterministic snapshot
-   stays uncontaminated. *)
-let trace_format_arg =
-  let formats = [ ("jsonl", Obs.Jsonl); ("chrome", Obs.Chrome); ("tree", Obs.Tree) ] in
-  fun ~default doc_ctx ->
-    Arg.(
-      value
-      & opt (enum formats) default
-      & info [ "format"; "trace-format" ] ~docv:"FMT"
-          ~doc:
-            (Printf.sprintf
-               "Trace export format for %s: $(b,jsonl) (one span/event object per line), \
-                $(b,chrome) (trace-event JSON array, loadable in Perfetto or chrome://tracing) \
-                or $(b,tree) (human-readable span tree)."
-               doc_ctx))
+   stays uncontaminated. Formats are parsed as plain strings, not
+   [Arg.enum], so a typo gets the shared exit-2 message above instead
+   of cmdliner's 124. *)
+let trace_format_arg ~default doc_ctx =
+  Arg.(
+    value & opt string default
+    & info [ "format"; "trace-format" ] ~docv:"FMT"
+        ~doc:
+          (Printf.sprintf
+             "Trace export format for %s: $(b,jsonl) (one span/event object per line), \
+              $(b,chrome) (trace-event JSON array, loadable in Perfetto or chrome://tracing), \
+              $(b,tree) (human-readable span tree) or $(b,folded) (flamegraph stacks, one \
+              $(i,stack self-vt) line per span). Case-insensitive."
+             doc_ctx))
 
-let write_trace fmt path traces =
-  let rendered = Obs.export ~producer:("trustseq " ^ version) fmt traces in
+let land_output path rendered =
   match path with
   | "-" -> print_string rendered
-  | path -> Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc rendered)
+  | path -> (
+    try Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc rendered)
+    with Sys_error m ->
+      prerr_endline ("trustseq: " ^ m);
+      exit 2)
+
+let write_trace fmt path traces =
+  land_output path (Obs.export ~producer:("trustseq " ^ version) fmt traces)
 
 (* The automatic indemnity rescue, merged into a single plan (the same
    folding simulate/route use). *)
@@ -252,6 +271,7 @@ let defection_conv =
 
 let simulate_cmd =
   let run file defections rescue verbose trace_out trace_format =
+    let trace_format = trace_format_or_die trace_format in
     let obs = match trace_out with Some _ -> Obs.create () | None -> Obs.null in
     let status =
       Obs.with_span obs ~phase:"pipeline" "trustseq.simulate" (fun root ->
@@ -300,7 +320,7 @@ let simulate_cmd =
        ~doc:"Execute the synthesized protocol in the discrete-event runtime and audit outcomes.")
     Term.(
       const run $ file_arg $ defections $ rescue $ verbose $ trace_out
-      $ trace_format_arg ~default:Obs.Jsonl "--trace")
+      $ trace_format_arg ~default:"jsonl" "--trace")
 
 (* render *)
 
@@ -364,49 +384,115 @@ let cost_cmd =
 (* exposure *)
 
 let exposure_cmd =
-  let run file rescue =
+  let module Exposure = Trust_sim.Exposure in
+  let run file rescue defections =
     let spec = or_die (load file) in
-    let plan =
-      if rescue then
-        match Feasibility.rescue_with_indemnities spec with
-        | Some r -> (
-          match r.Feasibility.plans with
-          | [ plan ] -> Some plan
-          | plans ->
-            Some
-              Indemnity.
-                {
-                  offers = List.concat_map (fun p -> p.offers) plans;
-                  total = Feasibility.total_indemnity r;
-                })
-        | None -> None
-      else None
+    let plan = if rescue then rescue_plan spec else None in
+    let defectors =
+      List.map (fun (name, mode) -> (or_die (party_of_spec spec name), mode)) defections
     in
-    match Trust_sim.Harness.honest_run ?plan spec with
+    match Trust_sim.Harness.adversarial_run ?plan ~defectors spec with
     | Error message ->
       prerr_endline ("trustseq: " ^ message);
-      1
+      2
     | Ok result ->
-      let module Trace = Trust_sim.Trace in
-      let trace = Trace.of_result spec result in
+      (* the ledger, like the audit, works over the split spec — the
+         accepted indemnities redefine the deals (§6) *)
+      let split = match plan with Some p -> Indemnity.apply p spec | None -> spec in
+      let ledger =
+        Exposure.of_result ?plan ~defectors:(List.map fst defectors) split result
+      in
+      print_string
+        (Report.Table.render
+           ~header:[ "party"; "bound"; "peak at-risk"; "peak escrow"; "deposits"; "risk ticks" ]
+           (List.map
+              (fun (l : Exposure.party_ledger) ->
+                [
+                  Party.to_string l.Exposure.party;
+                  Report.Table.money l.Exposure.bound;
+                  Report.Table.money l.Exposure.peak_at_risk;
+                  Report.Table.money l.Exposure.peak_in_escrow;
+                  Report.Table.money l.Exposure.peak_deposits;
+                  string_of_int l.Exposure.risk_ticks;
+                ])
+              ledger.Exposure.parties));
+      let timeline_rows =
+        List.concat_map
+          (fun (l : Exposure.party_ledger) ->
+            List.map
+              (fun (s : Exposure.sample) ->
+                ( s.Exposure.at,
+                  [
+                    string_of_int s.Exposure.at;
+                    Party.to_string l.Exposure.party;
+                    Report.Table.money s.Exposure.at_risk;
+                    Report.Table.money s.Exposure.in_escrow;
+                    Report.Table.money s.Exposure.deposits;
+                    string_of_int s.Exposure.goods_out;
+                  ] ))
+              l.Exposure.timeline)
+          ledger.Exposure.parties
+      in
+      let timeline_rows =
+        (* change ticks only, chronologically, parties interleaved in
+           spec order within a tick (stable sort) *)
+        List.map snd (List.stable_sort (fun (a, _) (b, _) -> compare a b) timeline_rows)
+      in
+      if timeline_rows <> [] then begin
+        print_newline ();
+        print_string
+          (Report.Table.render
+             ~header:[ "t"; "party"; "at-risk"; "escrow"; "deposits"; "goods out" ]
+             timeline_rows)
+      end;
+      if ledger.Exposure.agents <> [] then begin
+        print_newline ();
+        print_string
+          (Report.Table.render
+             ~header:[ "custody at"; "peak"; "final" ]
+             (List.map
+                (fun (a : Exposure.agent_ledger) ->
+                  [
+                    Party.to_string a.Exposure.agent;
+                    Report.Table.money a.Exposure.peak_custody;
+                    Report.Table.money a.Exposure.final_custody;
+                  ])
+                ledger.Exposure.agents))
+      end;
       List.iter
-        (fun party ->
-          Format.printf "%s (peak %a):@.%a@." (Party.to_string party) Asset.pp_money
-            (Trace.peak_exposure trace party)
-            Trace.pp_profile
-            (Trace.exposure_profile trace party))
-        (Spec.principals spec);
-      Format.printf "total peak exposure: %a over %d ticks@." Asset.pp_money
-        (Trace.total_peak_exposure trace) (Trace.duration trace);
-      0
+        (fun v -> Format.printf "violation: %a@." Exposure.pp_violation v)
+        ledger.Exposure.violations;
+      if ledger.Exposure.violations = [] then 0 else 1
   in
   let rescue =
     Arg.(value & flag & info [ "indemnify" ] ~doc:"Apply the automatic indemnity rescue first.")
   in
+  let defections =
+    Arg.(
+      value & opt_all defection_conv []
+      & info [ "defect" ] ~docv:"PARTY[:MODE]"
+          ~doc:"Make a party defect: ':silent' (default) or ':partial=N'. Repeatable.")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the synthesized protocol and folds the delivery log into the exposure ledger: \
+         per-principal peaks and timelines of at-risk value (in other principals' hands, \
+         unreciprocated), escrow (custody at genuine trusted agents) and §6 indemnity \
+         deposits, plus per-holder custody peaks. The §5 invariant — an honest principal's \
+         at-risk value never exceeds its largest single committed transfer, and returns to \
+         zero by the end of the run — is checked tick by tick.";
+      `S Manpage.s_exit_status;
+      `P "0 — no invariant violations (the expected result for honest feasible runs).";
+      `P "1 — at least one violation (printed with its party and tick).";
+      `P "2 — the file failed to load or the exchange is infeasible.";
+    ]
+  in
   Cmd.v
-    (Cmd.info "exposure"
-       ~doc:"Run honestly and print each principal's asset-at-risk profile over time.")
-    Term.(const run $ file_arg $ rescue)
+    (Cmd.info "exposure" ~man
+       ~doc:"Print the exposure ledger: who was at risk, for how much, for how long.")
+    Term.(const run $ file_arg $ rescue $ defections)
 
 (* route *)
 
@@ -493,50 +579,56 @@ let route_cmd =
           brokers and requests (section 9).")
     Term.(const run $ file_arg $ simulate)
 
-(* trace *)
+(* trace / trace-stats *)
+
+let read_source file =
+  match file with
+  | "-" -> In_channel.input_all stdin
+  | path -> (
+    match In_channel.with_open_text path In_channel.input_all with
+    | src -> src
+    | exception Sys_error m ->
+      prerr_endline ("trustseq: " ^ m);
+      exit 2)
+
+(* The whole pipeline — parse, elaborate, lint, reduce, route, simulate,
+   verify, audit — as spans on one trace; shared by `trace` and
+   `trace-stats`. *)
+let traced_pipeline obs ~file src =
+  Obs.with_span obs ~phase:"pipeline" "trustseq.trace" (fun root ->
+      match Trust_lang.Elaborate.from_string ~obs ~parent:root ~file src with
+      | Error message ->
+        prerr_endline ("trustseq: " ^ message);
+        2
+      | Ok spec -> (
+        (* every phase lands on the trace, whatever it finds *)
+        ignore (Trust_analyze.Lint.check_spec ~obs ~parent:root ~file spec);
+        let analysis = Feasibility.analyze ~obs ~parent:root spec in
+        let plan =
+          (* infeasible specs get the automatic indemnity rescue so
+             the downstream phases still appear on the trace *)
+          match analysis.Feasibility.outcome.Reduce.verdict with
+          | Reduce.Feasible -> None
+          | Reduce.Stuck _ -> rescue_plan spec
+        in
+        match Trust_sim.Harness.assemble ~obs ~parent:root ?plan spec with
+        | Error message ->
+          prerr_endline ("trustseq: " ^ message);
+          1
+        | Ok cast ->
+          let result = Trust_sim.Harness.run_cast ~obs ~parent:root cast in
+          ignore
+            (Trust_analyze.Verifier.verify_spec ~obs ~parent:root
+               cast.Trust_sim.Harness.spec);
+          let report = Trust_sim.Audit.audit ~obs ~parent:root spec ?plan result in
+          if report.Trust_sim.Audit.honest_all_acceptable then 0 else 1))
 
 let trace_cmd =
   let run file format out =
-    let src =
-      match file with
-      | "-" -> In_channel.input_all stdin
-      | path -> (
-        match In_channel.with_open_text path In_channel.input_all with
-        | src -> src
-        | exception Sys_error m ->
-          prerr_endline ("trustseq: " ^ m);
-          exit 2)
-    in
+    let format = trace_format_or_die format in
+    let src = read_source file in
     let obs = Obs.create () in
-    let status =
-      Obs.with_span obs ~phase:"pipeline" "trustseq.trace" (fun root ->
-          match Trust_lang.Elaborate.from_string ~obs ~parent:root ~file src with
-          | Error message ->
-            prerr_endline ("trustseq: " ^ message);
-            2
-          | Ok spec -> (
-            (* every phase lands on the trace, whatever it finds *)
-            ignore (Trust_analyze.Lint.check_spec ~obs ~parent:root ~file spec);
-            let analysis = Feasibility.analyze ~obs ~parent:root spec in
-            let plan =
-              (* infeasible specs get the automatic indemnity rescue so
-                 the downstream phases still appear on the trace *)
-              match analysis.Feasibility.outcome.Reduce.verdict with
-              | Reduce.Feasible -> None
-              | Reduce.Stuck _ -> rescue_plan spec
-            in
-            match Trust_sim.Harness.assemble ~obs ~parent:root ?plan spec with
-            | Error message ->
-              prerr_endline ("trustseq: " ^ message);
-              1
-            | Ok cast ->
-              let result = Trust_sim.Harness.run_cast ~obs ~parent:root cast in
-              ignore
-                (Trust_analyze.Verifier.verify_spec ~obs ~parent:root
-                   cast.Trust_sim.Harness.spec);
-              let report = Trust_sim.Audit.audit ~obs ~parent:root spec ?plan result in
-              if report.Trust_sim.Audit.honest_all_acceptable then 0 else 1))
-    in
+    let status = traced_pipeline obs ~file src in
     write_trace format out [ obs ];
     status
   in
@@ -565,8 +657,176 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~man
-       ~doc:"Trace the full pipeline (parse to audit) and export spans as JSONL, Chrome JSON or a tree.")
-    Term.(const run $ file_arg $ trace_format_arg ~default:Obs.Tree "the trace" $ out)
+       ~doc:
+         "Trace the full pipeline (parse to audit) and export spans as JSONL, Chrome JSON, a \
+          tree or folded flamegraph stacks.")
+    Term.(const run $ file_arg $ trace_format_arg ~default:"tree" "the trace" $ out)
+
+(* trace-stats *)
+
+let trace_stats_cmd =
+  let module Analysis = Trust_obs.Analysis in
+  let run file from_trace format out =
+    let format =
+      match String.lowercase_ascii format with
+      | "table" -> `Table
+      | "folded" -> `Folded
+      | s -> invalid_format_die s [ "table"; "folded" ]
+    in
+    let analysis, status =
+      if from_trace then
+        match Analysis.of_jsonl (read_source file) with
+        | Ok analysis -> (analysis, 0)
+        | Error m ->
+          Printf.eprintf "trustseq: %s: %s\n" file m;
+          exit 2
+      else begin
+        let src = read_source file in
+        let obs = Obs.create () in
+        let status = traced_pipeline obs ~file src in
+        (Analysis.of_traces [ obs ], status)
+      end
+    in
+    let rendered =
+      match format with
+      | `Folded -> Analysis.folded analysis
+      | `Table ->
+        let buf = Buffer.create 1024 in
+        Buffer.add_string buf
+          (Report.Table.kv
+             [
+               ("spans", string_of_int (Analysis.span_count analysis));
+               ("events", string_of_int (Analysis.event_count analysis));
+               ("sessions", string_of_int (List.length (Analysis.sessions analysis)));
+             ]);
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf
+          (Report.Table.render
+             ~header:[ "phase"; "spans"; "events"; "total vt"; "self vt" ]
+             (List.map
+                (fun ps ->
+                  [
+                    ps.Analysis.ps_phase;
+                    string_of_int ps.Analysis.ps_spans;
+                    string_of_int ps.Analysis.ps_events;
+                    string_of_int ps.Analysis.ps_total_vt;
+                    string_of_int ps.Analysis.ps_self_vt;
+                  ])
+                (Analysis.phase_stats analysis)));
+        (match Analysis.critical_path analysis with
+        | [] -> ()
+        | path ->
+          Buffer.add_string buf "\ncritical path (longest span chain, virtual time):\n";
+          List.iteri
+            (fun depth st ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s%s/%s [%d,%d) self %d\n"
+                   (String.make (2 * depth + 2) ' ')
+                   st.Analysis.st_phase st.Analysis.st_name st.Analysis.st_start
+                   st.Analysis.st_stop st.Analysis.st_self))
+            path);
+        Buffer.contents buf
+    in
+    land_output out rendered;
+    status
+  in
+  let from_trace =
+    Arg.(
+      value & flag
+      & info [ "from-trace" ]
+          ~doc:
+            "Treat $(i,FILE) as a JSONL trace export (from $(b,trace --format jsonl) or \
+             $(b,batch --trace)) instead of a specification to run.")
+  in
+  let format =
+    Arg.(
+      value & opt string "table"
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,table) (per-phase statistics and the critical path) or \
+             $(b,folded) (flamegraph stacks, one $(i,stack self-vt) line per span). \
+             Case-insensitive.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the analysis to $(docv) (default stdout).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the same traced pipeline as $(b,trustseq trace) (or re-parses an existing JSONL \
+         export with $(b,--from-trace)) and prints span analytics: per-phase span/event counts \
+         and total/self virtual time, the critical path, or folded stacks ready for \
+         $(b,flamegraph.pl) / speedscope.";
+      `P
+        "All statistics are in virtual time, so the output is byte-identical run to run and at \
+         any $(b,batch --jobs).";
+      `S Manpage.s_exit_status;
+      `P "0 — analysis printed (with --from-trace, the export parsed).";
+      `P "1 — the traced run was infeasible or audited unacceptably (stats still printed).";
+      `P "2 — unreadable input, malformed JSONL, or an invalid --format/--out.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace-stats" ~man
+       ~doc:"Analyse a traced pipeline run: per-phase statistics, critical path, flamegraph stacks.")
+    Term.(const run $ file_arg $ from_trace $ format $ out)
+
+(* trace-diff *)
+
+let trace_diff_cmd =
+  let module Analysis = Trust_obs.Analysis in
+  let run left right out =
+    if left = "-" && right = "-" then begin
+      prerr_endline "trustseq: only one of the two traces can come from stdin";
+      exit 2
+    end;
+    let parse path =
+      match Analysis.of_jsonl (read_source path) with
+      | Ok analysis -> analysis
+      | Error m ->
+        Printf.eprintf "trustseq: %s: %s\n" path m;
+        exit 2
+    in
+    let diff = Analysis.diff (parse left) (parse right) in
+    land_output out (Analysis.render_diff diff);
+    if diff = [] then 0 else 1
+  in
+  let left =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"A" ~doc:"First JSONL trace export ('-' for stdin).")
+  in
+  let right =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"B" ~doc:"Second JSONL trace export ('-' for stdin).")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the diff to $(docv) (default stdout).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Compares two JSONL trace exports structurally. Spans are matched by session and by \
+         their name path from the root (plus an occurrence index), so renumbered span ids \
+         alone produce no noise; differing phases, virtual-time ranges, attributes or events \
+         are reported per span, one line each ($(b,-) only in A, $(b,+) only in B, $(b,~) \
+         changed).";
+      `S Manpage.s_exit_status;
+      `P "0 — structurally identical (empty diff).";
+      `P "1 — the traces differ.";
+      `P "2 — unreadable input, malformed JSONL, or an invalid --out.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace-diff" ~man ~doc:"Structurally diff two JSONL trace exports.")
+    Term.(const run $ left $ right $ out)
 
 (* batch *)
 
@@ -574,6 +834,7 @@ let batch_cmd =
   let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify json
       trace_out trace_format debug_gauges =
     let module Service = Trust_serve.Service in
+    let trace_format = trace_format_or_die trace_format in
     if sessions < 0 then (
       prerr_endline "trustseq: --sessions must be non-negative";
       exit 2);
@@ -716,7 +977,7 @@ let batch_cmd =
           (protocol cache + batch scheduler) and print a deterministic metrics report.")
     Term.(
       const run $ sessions $ seed $ concurrency $ jobs $ mode $ density $ drop_rate $ defect_every
-      $ no_rescue $ verify $ json $ trace_out $ trace_format_arg ~default:Obs.Jsonl "--trace"
+      $ no_rescue $ verify $ json $ trace_out $ trace_format_arg ~default:"jsonl" "--trace"
       $ debug_gauges)
 
 (* petri *)
@@ -745,6 +1006,6 @@ let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
     (Cmd.info "trustseq" ~version ~doc)
-    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; trace_cmd ]
+    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,488 @@
+(* Trace analytics: pure functions of span views. Working on views —
+   rather than on traces or exported bytes — means the in-memory path
+   (of_traces) and the re-parse path (of_jsonl) share every downstream
+   computation, so the two can never drift apart. *)
+
+type t = Obs.span_view list
+
+let of_views vs : t = vs
+let of_traces ts : t = List.concat_map Obs.views ts
+
+(* -- a minimal JSON reader for our own JSONL exporter output -- *)
+
+exception Bad of string
+
+type json =
+  | J_null
+  | J_bool of bool
+  | J_num of string  (* kept raw: ids parse as int, attrs may be float *)
+  | J_str of string
+  | J_obj of (string * json) list
+  | J_arr of json list
+
+let parse_json line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad msg) in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && line.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected '%c'" c)
+  in
+  let lit word v =
+    let k = String.length word in
+    if !pos + k <= n && String.sub line !pos k = word then (
+      pos := !pos + k;
+      v)
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail "dangling escape"
+          else (
+            (match line.[!pos] with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'u' ->
+              if !pos + 4 >= n then fail "truncated \\u escape"
+              else (
+                let code = int_of_string ("0x" ^ String.sub line (!pos + 1) 4) in
+                pos := !pos + 4;
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then (
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
+                else (
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))))
+            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+            incr pos;
+            go ())
+        | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a value"
+    else J_num (String.sub line start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> J_str (string_lit ())
+    | Some 't' -> lit "true" (J_bool true)
+    | Some 'f' -> lit "false" (J_bool false)
+    | Some 'n' -> lit "null" J_null
+    | Some _ -> number ()
+    | None -> fail "unexpected end of line"
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then (
+      incr pos;
+      J_obj [])
+    else (
+      let rec members acc =
+        skip_ws ();
+        let k = string_lit () in
+        skip_ws ();
+        expect ':';
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          members ((k, v) :: acc)
+        | Some '}' ->
+          incr pos;
+          J_obj (List.rev ((k, v) :: acc))
+        | _ -> fail "expected ',' or '}'"
+      in
+      members [])
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then (
+      incr pos;
+      J_arr [])
+    else (
+      let rec elements acc =
+        let v = value () in
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+          incr pos;
+          elements (v :: acc)
+        | Some ']' ->
+          incr pos;
+          J_arr (List.rev ((v) :: acc))
+        | _ -> fail "expected ',' or ']'"
+      in
+      elements [])
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing characters" else v
+
+let field obj k =
+  match obj with
+  | J_obj kvs -> (
+    match List.assoc_opt k kvs with
+    | Some v -> v
+    | None -> raise (Bad (Printf.sprintf "missing field %S" k)))
+  | _ -> raise (Bad "expected an object")
+
+let as_int = function
+  | J_num s -> ( try int_of_string s with _ -> raise (Bad ("not an integer: " ^ s)))
+  | _ -> raise (Bad "expected an integer")
+
+let as_str = function J_str s -> s | _ -> raise (Bad "expected a string")
+
+let as_value = function
+  | J_num s ->
+    if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then
+      Obs.Float (float_of_string s)
+    else Obs.Int (int_of_string s)
+  | J_str s -> Obs.Str s
+  | J_bool b -> Obs.Bool b
+  | J_null | J_obj _ | J_arr _ -> raise (Bad "unsupported attribute value")
+
+let as_attrs = function
+  | J_obj kvs -> List.map (fun (k, v) -> (k, as_value v)) kvs
+  | _ -> raise (Bad "expected an attrs object")
+
+let of_jsonl text =
+  (* spans in line order; events appended to their span by (session, id) *)
+  let spans = ref [] (* reversed *) in
+  let events : (int * int, Obs.event_view list ref) Hashtbl.t = Hashtbl.create 64 in
+  let err = ref None in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun i line ->
+      if !err = None && String.trim line <> "" then
+        try
+          let j = parse_json line in
+          match as_str (field j "type") with
+          | "meta" -> ()
+          | "span" ->
+            let session = as_int (field j "session") in
+            let id = as_int (field j "id") in
+            let parent =
+              match field j "parent" with J_null -> None | v -> Some (as_int v)
+            in
+            let view =
+              {
+                Obs.view_session = session;
+                view_id = id;
+                view_parent = parent;
+                view_phase = as_str (field j "phase");
+                view_name = as_str (field j "name");
+                view_start = as_int (field j "start");
+                view_stop = as_int (field j "stop");
+                view_attrs = as_attrs (field j "attrs");
+                view_events = [];
+              }
+            in
+            spans := view :: !spans;
+            Hashtbl.replace events (session, id) (ref [])
+          | "event" ->
+            let session = as_int (field j "session") in
+            let span = as_int (field j "span") in
+            let ev =
+              {
+                Obs.ev_name = as_str (field j "name");
+                ev_vt = as_int (field j "vt");
+                ev_attrs = as_attrs (field j "attrs");
+              }
+            in
+            (match Hashtbl.find_opt events (session, span) with
+            | Some acc -> acc := ev :: !acc
+            | None -> raise (Bad (Printf.sprintf "event for unknown span %d" span)))
+          | ty -> raise (Bad (Printf.sprintf "unknown line type %S" ty))
+        with
+        | Bad msg -> err := Some (Printf.sprintf "line %d: %s" (i + 1) msg)
+        | Failure msg -> err := Some (Printf.sprintf "line %d: %s" (i + 1) msg))
+    lines;
+  match !err with
+  | Some e -> Error e
+  | None ->
+    Ok
+      (List.rev_map
+         (fun (v : Obs.span_view) ->
+           match Hashtbl.find_opt events (v.Obs.view_session, v.Obs.view_id) with
+           | Some acc -> { v with Obs.view_events = List.rev !acc }
+           | None -> v)
+         !spans)
+
+(* -- shared structure helpers -- *)
+
+let dur (v : Obs.span_view) =
+  if v.Obs.view_stop < 0 then 0 else v.Obs.view_stop - v.Obs.view_start
+
+(* summed child durations per (session, id) *)
+let child_vt_table (vs : t) =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (v : Obs.span_view) ->
+      match v.Obs.view_parent with
+      | None -> ()
+      | Some p ->
+        let key = (v.Obs.view_session, p) in
+        Hashtbl.replace tbl key (dur v + (try Hashtbl.find tbl key with Not_found -> 0)))
+    vs;
+  tbl
+
+let self_vt tbl (v : Obs.span_view) =
+  max 0
+    (dur v - (try Hashtbl.find tbl (v.Obs.view_session, v.Obs.view_id) with Not_found -> 0))
+
+let span_count (vs : t) = List.length vs
+
+let event_count (vs : t) =
+  List.fold_left (fun acc (v : Obs.span_view) -> acc + List.length v.Obs.view_events) 0 vs
+
+let sessions (vs : t) =
+  List.sort_uniq compare (List.map (fun (v : Obs.span_view) -> v.Obs.view_session) vs)
+
+(* -- per-phase statistics -- *)
+
+type phase_stat = {
+  ps_phase : string;
+  ps_spans : int;
+  ps_events : int;
+  ps_total_vt : int;
+  ps_self_vt : int;
+}
+
+let phase_stats (vs : t) =
+  let children = child_vt_table vs in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (v : Obs.span_view) ->
+      let row =
+        match Hashtbl.find_opt tbl v.Obs.view_phase with
+        | Some r -> r
+        | None ->
+          let r =
+            ref
+              {
+                ps_phase = v.Obs.view_phase;
+                ps_spans = 0;
+                ps_events = 0;
+                ps_total_vt = 0;
+                ps_self_vt = 0;
+              }
+          in
+          Hashtbl.replace tbl v.Obs.view_phase r;
+          r
+      in
+      row :=
+        {
+          !row with
+          ps_spans = !row.ps_spans + 1;
+          ps_events = !row.ps_events + List.length v.Obs.view_events;
+          ps_total_vt = !row.ps_total_vt + dur v;
+          ps_self_vt = !row.ps_self_vt + self_vt children v;
+        })
+    vs;
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b -> String.compare a.ps_phase b.ps_phase)
+
+(* -- critical path -- *)
+
+type path_step = {
+  st_phase : string;
+  st_name : string;
+  st_start : int;
+  st_stop : int;
+  st_self : int;
+}
+
+let critical_path (vs : t) =
+  let children = child_vt_table vs in
+  let longest candidates =
+    (* first creation-order span of maximal duration *)
+    List.fold_left
+      (fun acc v ->
+        match acc with Some best when dur best >= dur v -> acc | _ -> Some v)
+      None candidates
+  in
+  let step (v : Obs.span_view) =
+    {
+      st_phase = v.Obs.view_phase;
+      st_name = v.Obs.view_name;
+      st_start = v.Obs.view_start;
+      st_stop = v.Obs.view_stop;
+      st_self = self_vt children v;
+    }
+  in
+  match longest (List.filter (fun (v : Obs.span_view) -> v.Obs.view_parent = None) vs) with
+  | None -> []
+  | Some root ->
+    let rec descend (v : Obs.span_view) acc =
+      let acc = step v :: acc in
+      let kids =
+        List.filter
+          (fun (c : Obs.span_view) ->
+            c.Obs.view_session = v.Obs.view_session && c.Obs.view_parent = Some v.Obs.view_id)
+          vs
+      in
+      match longest kids with None -> List.rev acc | Some k -> descend k acc
+    in
+    descend root []
+
+(* -- folded stacks -- *)
+
+let folded (vs : t) = Obs.render_folded vs
+
+(* -- structural diff -- *)
+
+type diff_entry =
+  | Only_left of string
+  | Only_right of string
+  | Changed of string * string
+
+let value_str = function
+  | Obs.Int i -> string_of_int i
+  | Obs.Float f -> Printf.sprintf "%.6f" f
+  | Obs.Str s -> Printf.sprintf "%S" s
+  | Obs.Bool b -> if b then "true" else "false"
+
+(* spans keyed by session + root name-path + occurrence index: stable
+   under pure id/vt renumbering, so a diff points at the first real
+   structural change instead of every downstream shift *)
+let keyed (vs : t) =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (v : Obs.span_view) -> Hashtbl.replace by_id (v.Obs.view_session, v.Obs.view_id) v) vs;
+  let rec path (v : Obs.span_view) =
+    match v.Obs.view_parent with
+    | None -> v.Obs.view_name
+    | Some p -> (
+      match Hashtbl.find_opt by_id (v.Obs.view_session, p) with
+      | None -> v.Obs.view_name
+      | Some pv -> path pv ^ "/" ^ v.Obs.view_name)
+  in
+  let seen = Hashtbl.create 64 in
+  List.map
+    (fun (v : Obs.span_view) ->
+      let p = path v in
+      let occ = try Hashtbl.find seen (v.Obs.view_session, p) with Not_found -> 0 in
+      Hashtbl.replace seen (v.Obs.view_session, p) (occ + 1);
+      ((v.Obs.view_session, p, occ), v))
+    vs
+
+let key_label (session, path, occ) =
+  if occ = 0 then Printf.sprintf "s%d %s" session path
+  else Printf.sprintf "s%d %s#%d" session path occ
+
+let attr_changes (a : (string * Obs.value) list) (b : (string * Obs.value) list) =
+  let keys =
+    List.fold_left
+      (fun acc (k, _) -> if List.mem k acc then acc else acc @ [ k ])
+      [] (a @ b)
+  in
+  List.filter_map
+    (fun k ->
+      match (List.assoc_opt k a, List.assoc_opt k b) with
+      | Some x, Some y ->
+        if value_str x = value_str y then None
+        else Some (Printf.sprintf "%s %s -> %s" k (value_str x) (value_str y))
+      | Some x, None -> Some (Printf.sprintf "%s %s -> (absent)" k (value_str x))
+      | None, Some y -> Some (Printf.sprintf "%s (absent) -> %s" k (value_str y))
+      | None, None -> None)
+    keys
+
+let event_sig (e : Obs.event_view) =
+  e.Obs.ev_name ^ "{"
+  ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ value_str v) e.Obs.ev_attrs)
+  ^ "}"
+
+let span_changes (a : Obs.span_view) (b : Obs.span_view) =
+  let changes = ref [] in
+  let add c = changes := c :: !changes in
+  if a.Obs.view_phase <> b.Obs.view_phase then
+    add (Printf.sprintf "phase %s -> %s" a.Obs.view_phase b.Obs.view_phase);
+  if dur a <> dur b then add (Printf.sprintf "vt %d -> %d" (dur a) (dur b));
+  List.iter add (attr_changes a.Obs.view_attrs b.Obs.view_attrs);
+  let ea = List.map event_sig a.Obs.view_events
+  and eb = List.map event_sig b.Obs.view_events in
+  if ea <> eb then
+    if List.length ea <> List.length eb then
+      add (Printf.sprintf "events %d -> %d" (List.length ea) (List.length eb))
+    else (
+      let i = ref 0 in
+      List.iter2
+        (fun x y ->
+          incr i;
+          if x <> y then add (Printf.sprintf "event %d: %s -> %s" !i x y))
+        ea eb);
+  List.rev !changes
+
+let diff (a : t) (b : t) =
+  let ka = keyed a and kb = keyed b in
+  let tb = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tb k v) kb;
+  let ta = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace ta k v) ka;
+  let entries = ref [] in
+  List.iter
+    (fun (k, va) ->
+      match Hashtbl.find_opt tb k with
+      | None -> entries := (k, Only_left (key_label k)) :: !entries
+      | Some vb -> (
+        match span_changes va vb with
+        | [] -> ()
+        | cs -> entries := (k, Changed (key_label k, String.concat ", " cs)) :: !entries))
+    ka;
+  List.iter
+    (fun (k, _) ->
+      if not (Hashtbl.mem ta k) then entries := (k, Only_right (key_label k)) :: !entries)
+    kb;
+  List.sort (fun (ka, _) (kb, _) -> compare ka kb) !entries |> List.map snd
+
+let render_diff entries =
+  String.concat ""
+    (List.map
+       (function
+         | Only_left k -> Printf.sprintf "- %s (only in A)\n" k
+         | Only_right k -> Printf.sprintf "+ %s (only in B)\n" k
+         | Changed (k, desc) -> Printf.sprintf "~ %s: %s\n" k desc)
+       entries)

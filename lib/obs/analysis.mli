@@ -1,0 +1,80 @@
+(** Trace analytics over {!Obs} span views: per-phase statistics,
+    critical-path extraction, folded (flamegraph) stacks, and a
+    structural diff between two traces.
+
+    Everything here is a pure function of span views, so the results
+    inherit the tracing layer's determinism contract: byte-identical
+    across runs and across [--jobs], and identical whether the views
+    come from an in-memory trace ({!of_traces}) or from a re-parsed
+    JSONL export ({!of_jsonl}). *)
+
+type t
+(** An analysed trace set: span views in session-then-creation order. *)
+
+val of_views : Obs.span_view list -> t
+
+val of_traces : Obs.t list -> t
+(** Null sinks contribute nothing, order is preserved. *)
+
+val of_jsonl : string -> (t, string) result
+(** Re-parse a JSONL export ({!Obs.export} [Jsonl]). Accepts exactly
+    the shapes the exporter emits ([meta] lines are ignored); the error
+    carries the 1-based line number of the first offending line. *)
+
+val span_count : t -> int
+val event_count : t -> int
+val sessions : t -> int list
+(** Distinct session ids, ascending. *)
+
+(** {2 Per-phase statistics} *)
+
+type phase_stat = {
+  ps_phase : string;
+  ps_spans : int;
+  ps_events : int;
+  ps_total_vt : int;  (** summed span durations (virtual time) *)
+  ps_self_vt : int;  (** summed durations minus child-span durations *)
+}
+
+val phase_stats : t -> phase_stat list
+(** One row per phase, sorted by phase name. Unfinished spans count as
+    zero duration. *)
+
+(** {2 Critical path} *)
+
+type path_step = {
+  st_phase : string;
+  st_name : string;
+  st_start : int;
+  st_stop : int;
+  st_self : int;
+}
+
+val critical_path : t -> path_step list
+(** Root-to-leaf chain of maximal virtual duration: the longest root
+    span (earliest wins ties), then at every level the longest child.
+    [[]] for an empty trace set. *)
+
+(** {2 Folded stacks}  *)
+
+val folded : t -> string
+(** {!Obs.render_folded} over the held views. *)
+
+(** {2 Structural diff} *)
+
+type diff_entry =
+  | Only_left of string  (** span path present only in the first trace *)
+  | Only_right of string  (** span path present only in the second *)
+  | Changed of string * string  (** path, human description of the change *)
+
+val diff : t -> t -> diff_entry list
+(** Compare two trace sets structurally. Spans are keyed by [session] +
+    the [/]-joined name path from their root + an occurrence index, so
+    reordered ids alone do not produce noise; differing phase, vt
+    range, attrs or events are reported per key. [[]] iff the two
+    exports are structurally identical. Deterministic order: sorted by
+    session, then path. *)
+
+val render_diff : diff_entry list -> string
+(** One line per entry ([- path …], [+ path …], [~ path …]); [""] for
+    the empty diff. *)

@@ -7,7 +7,8 @@
 
 type value = Int of int | Float of float | Str of string | Bool of bool
 
-type ev = { ev_name : string; ev_vt : int; ev_attrs : (string * value) list }
+type event_view = { ev_name : string; ev_vt : int; ev_attrs : (string * value) list }
+type ev = event_view
 
 type sp = {
   sp_id : int;
@@ -148,12 +149,16 @@ let batch_traces = function
 
 (* Exporters *)
 
-type format = Jsonl | Chrome | Tree
+type format = Jsonl | Chrome | Tree | Folded
 
-let format_of_string = function
+let format_names = [ "jsonl"; "chrome"; "tree"; "folded" ]
+
+let format_of_string s =
+  match String.lowercase_ascii s with
   | "jsonl" -> Some Jsonl
   | "chrome" -> Some Chrome
   | "tree" -> Some Tree
+  | "folded" -> Some Folded
   | _ -> None
 
 let json_escape s =
@@ -192,6 +197,40 @@ let live ts = List.filter_map (function Null -> None | Active tr -> Some tr) ts
 let span_order tr = List.rev tr.tr_spans
 let event_order sp = List.rev sp.sp_events
 let attr_order sp = List.rev sp.sp_attrs
+
+(* Span views: the exporters' eye view of a trace, made public so the
+   analysis layer computes over in-memory traces and re-parsed JSONL
+   with the same code. Volatile attrs are dropped here, once. *)
+
+type span_view = {
+  view_session : int;
+  view_id : int;
+  view_parent : int option;
+  view_phase : string;
+  view_name : string;
+  view_start : int;
+  view_stop : int;
+  view_attrs : (string * value) list;
+  view_events : event_view list;
+}
+
+let views = function
+  | Null -> []
+  | Active tr ->
+    List.map
+      (fun sp ->
+        {
+          view_session = tr.tr_session;
+          view_id = sp.sp_id;
+          view_parent = sp.sp_parent;
+          view_phase = sp.sp_phase;
+          view_name = sp.sp_name;
+          view_start = sp.sp_start;
+          view_stop = sp.sp_stop;
+          view_attrs = attr_order sp;
+          view_events = event_order sp;
+        })
+      (span_order tr)
 
 let jsonl ?producer ts =
   let buf = Buffer.create 4096 in
@@ -292,9 +331,74 @@ let tree ts =
     ts;
   Buffer.contents buf
 
+(* Folded stacks (flamegraph input): one line per span, the frame stack
+   from root to span joined with ';' followed by the span's self virtual
+   time. Children occupy disjoint vt sub-ranges of their parent (the
+   clock is per-trace monotonic), so self time is never negative on
+   finished spans and one session's counts sum back to its root
+   durations. Separators are escaped so a name containing ';' cannot
+   forge a stack level. *)
+
+let folded_frame name =
+  let buf = Buffer.create (String.length name) in
+  String.iter
+    (fun c ->
+      match c with
+      | ';' -> Buffer.add_string buf "\\;"
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | ' ' -> Buffer.add_char buf '_'
+      | c -> Buffer.add_char buf c)
+    name;
+  Buffer.contents buf
+
+let render_folded vs =
+  let buf = Buffer.create 4096 in
+  let sessions =
+    List.fold_left
+      (fun acc v -> if List.mem v.view_session acc then acc else v.view_session :: acc)
+      [] vs
+    |> List.rev
+  in
+  List.iter
+    (fun s ->
+      let vs = List.filter (fun v -> v.view_session = s) vs in
+      let by_id = Hashtbl.create 64 in
+      List.iter (fun v -> Hashtbl.replace by_id v.view_id v) vs;
+      let dur v = if v.view_stop < 0 then 0 else v.view_stop - v.view_start in
+      let child_vt = Hashtbl.create 64 in
+      List.iter
+        (fun v ->
+          match v.view_parent with
+          | None -> ()
+          | Some p ->
+            Hashtbl.replace child_vt p
+              (dur v + (try Hashtbl.find child_vt p with Not_found -> 0)))
+        vs;
+      let rec stack v acc =
+        let acc = folded_frame v.view_name :: acc in
+        match v.view_parent with
+        | None -> acc
+        | Some p -> (
+          match Hashtbl.find_opt by_id p with None -> acc | Some pv -> stack pv acc)
+      in
+      List.iter
+        (fun v ->
+          let self =
+            max 0 (dur v - (try Hashtbl.find child_vt v.view_id with Not_found -> 0))
+          in
+          Buffer.add_string buf (String.concat ";" (stack v []));
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int self);
+          Buffer.add_char buf '\n')
+        vs)
+    sessions;
+  Buffer.contents buf
+
 let export ?producer fmt ts =
-  let ts = live ts in
   match fmt with
-  | Jsonl -> jsonl ?producer ts
-  | Chrome -> chrome ?producer ts
-  | Tree -> tree ts
+  | Jsonl -> jsonl ?producer (live ts)
+  | Chrome -> chrome ?producer (live ts)
+  | Tree -> tree (live ts)
+  | Folded -> render_folded (List.concat_map views ts)

@@ -100,12 +100,50 @@ val batch_traces : batch -> t list
 (** Every created trace, in session order — deterministic input for
     {!export}. *)
 
+(** {2 Span views}
+
+    A read-only snapshot of a recorded trace: what the exporters see,
+    exposed so the analysis layer ({!Analysis}) can compute statistics,
+    critical paths and diffs over in-memory traces and re-parsed JSONL
+    exports with one code path. *)
+
+type event_view = { ev_name : string; ev_vt : int; ev_attrs : (string * value) list }
+
+type span_view = {
+  view_session : int;
+  view_id : int;
+  view_parent : int option;
+  view_phase : string;
+  view_name : string;
+  view_start : int;
+  view_stop : int;  (** [-1] while the span is still open *)
+  view_attrs : (string * value) list;  (** deterministic attrs only *)
+  view_events : event_view list;
+}
+
+val views : t -> span_view list
+(** Spans in creation order ([[]] for {!null}). Volatile attrs are
+    excluded, exactly as in every exporter. *)
+
 (** {2 Exporters} *)
 
-type format = Jsonl | Chrome | Tree
+type format = Jsonl | Chrome | Tree | Folded
 
 val format_of_string : string -> format option
-(** ["jsonl"], ["chrome"] or ["tree"]. *)
+(** ["jsonl"], ["chrome"], ["tree"] or ["folded"], case-insensitively. *)
+
+val format_names : string list
+(** The accepted format names, in declaration order — for error
+    messages ("expected one of: …"). *)
+
+val render_folded : span_view list -> string
+(** The folded-stack (flamegraph) rendering over span views: one line
+    per span, [root;child;…;span N] where [N] is the span's {e self}
+    virtual time (duration minus the durations of its children) and
+    frames are [;]-joined span names with literal [;], [\ ] and
+    newlines escaped. Lines follow creation order; summing the counts
+    of one session's lines reproduces its root span durations, which
+    is what flamegraph tools rely on. *)
 
 val export : ?producer:string -> format -> t list -> string
 (** Render traces (null sinks are skipped, order preserved).

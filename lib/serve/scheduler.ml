@@ -58,6 +58,9 @@ type recorders = {
   deliveries : Metrics.counter;
   ticks_h : Metrics.histogram;
   events_h : Metrics.histogram;
+  exposure_violations : Metrics.counter;
+  exposure_peak_h : Metrics.histogram;
+  exposure_ticks_h : Metrics.histogram;
 }
 
 let recorders metrics =
@@ -76,6 +79,9 @@ let recorders metrics =
         deliveries = Metrics.counter m ~help:"actions delivered" "serve_deliveries_total";
         ticks_h = Metrics.histogram m ~help:"virtual session duration (ticks)" "serve_session_ticks";
         events_h = Metrics.histogram m ~help:"engine events per session" "serve_session_events";
+        exposure_violations = Metrics.counter m ~help:"single-transfer bound violations across runs" "sim_exposure_violations_total";
+        exposure_peak_h = Metrics.histogram m ~help:"peak outstanding at-risk value per run (cents)" "sim_exposure_peak";
+        exposure_ticks_h = Metrics.histogram m ~help:"virtual ticks with positive at-risk value per run" "sim_exposure_ticks";
       })
     metrics
 
@@ -118,11 +124,27 @@ let run_once cfg ?(obs = Obs.null) ?parent (entry : Cache.entry) policy (session
   session.Session.ticks <- session.Session.ticks + duration;
   session.Session.events <- session.Session.events + result.Engine.events;
   session.Session.stalled <- List.length result.Engine.stalled;
+  (* Exposure ledger over this run: peak keeps the worst attempt, risk
+     ticks and violations accumulate across the retry. *)
+  let exposure =
+    Trust_sim.Exposure.of_result ?plan:entry.Cache.plan
+      ~defectors:(List.map fst session.Session.defectors)
+      entry.Cache.split_spec result
+  in
+  let peak = Trust_sim.Exposure.total_peak_at_risk exposure in
+  let risk_ticks = Trust_sim.Exposure.total_risk_ticks exposure in
+  let violations = List.length exposure.Trust_sim.Exposure.violations in
+  session.Session.exposure_peak <- max session.Session.exposure_peak peak;
+  session.Session.exposure_ticks <- session.Session.exposure_ticks + risk_ticks;
+  session.Session.exposure_violations <- session.Session.exposure_violations + violations;
   record rec_opt (fun r ->
       Metrics.incr ~by:result.Engine.events r.engine_events;
       Metrics.incr ~by:(List.length result.Engine.log) r.deliveries;
       Metrics.observe r.ticks_h duration;
-      Metrics.observe r.events_h result.Engine.events);
+      Metrics.observe r.events_h result.Engine.events;
+      Metrics.observe r.exposure_peak_h peak;
+      Metrics.observe r.exposure_ticks_h risk_ticks;
+      if violations > 0 then Metrics.incr ~by:violations r.exposure_violations);
   let report =
     Audit.audit ~obs ?parent session.Session.spec ?plan:entry.Cache.plan
       ~defectors:(List.map fst session.Session.defectors)

@@ -123,6 +123,21 @@ let run (config : config) =
     (float_of_int stats.Scheduler.makespan);
   { config; sessions; metrics; cache; stats; wall_seconds; obs }
 
+type exposure_tally = { peak : int; risk_ticks : int; violations : int; at_risk_sessions : int }
+
+let exposure_tally sessions =
+  List.fold_left
+    (fun acc (s : Session.t) ->
+      {
+        peak = max acc.peak s.Session.exposure_peak;
+        risk_ticks = acc.risk_ticks + s.Session.exposure_ticks;
+        violations = acc.violations + s.Session.exposure_violations;
+        at_risk_sessions =
+          (acc.at_risk_sessions + if s.Session.exposure_peak > 0 then 1 else 0);
+      })
+    { peak = 0; risk_ticks = 0; violations = 0; at_risk_sessions = 0 }
+    sessions
+
 let virtual_throughput outcome =
   if outcome.stats.Scheduler.makespan = 0 then 0.
   else
@@ -142,17 +157,22 @@ let report ppf outcome =
     outcome.stats.Scheduler.makespan outcome.config.concurrency outcome.config.jobs
     (if outcome.config.jobs = 1 then "" else "s");
   Format.fprintf ppf "throughput  %.2f sessions / 1000 virtual ticks@." (virtual_throughput outcome);
+  let x = exposure_tally outcome.sessions in
+  Format.fprintf ppf "exposure    peak %a at-risk, %d risk ticks, %d sessions exposed, %d bound violations@."
+    Exchange.Asset.pp_money x.peak x.risk_ticks x.at_risk_sessions x.violations;
   Format.fprintf ppf "-- metrics --@.%s" (Metrics.to_text outcome.metrics)
 
 let json outcome =
   let t = tally outcome.sessions in
+  let x = exposure_tally outcome.sessions in
   Printf.sprintf
-    "{\"sessions\":%d,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"retried\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\"hit_rate\":%.4f},\"makespan_ticks\":%d,\"concurrency\":%d,\"jobs\":%d,\"virtual_throughput\":%.2f,\"metrics\":%s}"
+    "{\"sessions\":%d,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"retried\":%d,\"cache\":{\"hits\":%d,\"misses\":%d,\"bypasses\":%d,\"evictions\":%d,\"hit_rate\":%.4f},\"makespan_ticks\":%d,\"concurrency\":%d,\"jobs\":%d,\"virtual_throughput\":%.2f,\"exposure\":{\"peak_at_risk\":%d,\"risk_ticks\":%d,\"at_risk_sessions\":%d,\"violations\":%d},\"metrics\":%s}"
     outcome.config.sessions t.settled t.expired t.aborted outcome.stats.Scheduler.retried
     (Cache.hits outcome.cache) (Cache.misses outcome.cache) (Cache.bypasses outcome.cache)
     (Cache.evictions outcome.cache) (Cache.hit_rate outcome.cache)
     outcome.stats.Scheduler.makespan outcome.config.concurrency outcome.config.jobs
-    (virtual_throughput outcome) (Metrics.to_json outcome.metrics)
+    (virtual_throughput outcome) x.peak x.risk_ticks x.at_risk_sessions x.violations
+    (Metrics.to_json outcome.metrics)
 
 let wall_line outcome =
   let per_sec =

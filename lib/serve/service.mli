@@ -52,6 +52,17 @@ type tally = { settled : int; expired : int; aborted : int }
 
 val tally : Session.t list -> tally
 
+type exposure_tally = {
+  peak : int;  (** worst per-session peak at-risk value, in cents *)
+  risk_ticks : int;  (** at-risk virtual ticks summed over sessions *)
+  violations : int;  (** single-transfer bound violations over sessions *)
+  at_risk_sessions : int;  (** sessions whose peak at-risk was positive *)
+}
+
+val exposure_tally : Session.t list -> exposure_tally
+(** Batch-level aggregate of the per-session {!Trust_sim.Exposure}
+    ledgers maintained by the scheduler. *)
+
 val run : config -> outcome
 
 val report : Format.formatter -> outcome -> unit

@@ -20,6 +20,9 @@ type t = {
   mutable ticks : int;
   mutable events : int;
   mutable stalled : int;
+  mutable exposure_peak : int;
+  mutable exposure_ticks : int;
+  mutable exposure_violations : int;
 }
 
 let make ~id ?(defectors = []) spec =
@@ -35,6 +38,9 @@ let make ~id ?(defectors = []) spec =
     ticks = 0;
     events = 0;
     stalled = 0;
+    exposure_peak = 0;
+    exposure_ticks = 0;
+    exposure_violations = 0;
   }
 
 let status_label = function

@@ -38,6 +38,9 @@ type t = {
   mutable ticks : int;  (** virtual duration of all runs (≥ 1 once terminal) *)
   mutable events : int;  (** engine events across runs *)
   mutable stalled : int;  (** parked-forever actions in the last run *)
+  mutable exposure_peak : int;  (** max peak at-risk cents over all runs *)
+  mutable exposure_ticks : int;  (** at-risk ticks summed over runs *)
+  mutable exposure_violations : int;  (** §5 bound violations summed over runs *)
 }
 
 val make : id:int -> ?defectors:(Party.t * Trust_sim.Harness.defection) list -> Spec.t -> t

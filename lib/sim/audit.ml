@@ -76,7 +76,10 @@ let audit ?(obs = Obs.null) ?parent spec ?plan ?(defectors = []) (result : Engin
     Obs.attr obs span "honest_all_acceptable" (Obs.Bool report.honest_all_acceptable);
     Obs.attr obs span "honest_no_loss" (Obs.Bool report.honest_no_loss);
     Obs.attr obs span "all_preferred" (Obs.Bool report.all_preferred);
-    Obs.attr obs span "conserved" (Obs.Bool report.conserved)
+    Obs.attr obs span "conserved" (Obs.Bool report.conserved);
+    (* the exposure ledger rides along as a child span: peaks, risk
+       duration, and one structured event per invariant violation *)
+    Exposure.record obs ~parent:span (Exposure.of_result ?plan ~defectors spec result)
   end;
   report)
 

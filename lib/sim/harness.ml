@@ -152,7 +152,10 @@ let run_cast ?config ?(obs = Obs.null) ?parent cast =
       if Obs.enabled obs then begin
         Obs.attr obs h "events" (Obs.Int result.Engine.events);
         Obs.attr obs h "deliveries" (Obs.Int (List.length result.Engine.log));
-        Obs.attr obs h "stalled" (Obs.Int (List.length result.Engine.stalled))
+        Obs.attr obs h "stalled" (Obs.Int (List.length result.Engine.stalled));
+        let x = Exposure.of_result ?plan:cast.plan cast.spec result in
+        Obs.attr obs h "exposure_peak_at_risk" (Obs.Int (Exposure.total_peak_at_risk x));
+        Obs.attr obs h "exposure_peak_escrow" (Obs.Int (Exposure.total_peak_escrow x))
       end;
       result)
 

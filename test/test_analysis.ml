@@ -1,0 +1,210 @@
+(* Trace analytics: per-phase statistics, critical-path extraction,
+   folded stacks and the structural diff — plus the contract that the
+   JSONL round trip (export, re-parse) is lossless for everything the
+   analytics see. *)
+
+module Obs = Trust_obs.Obs
+module Analysis = Trust_obs.Analysis
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* a small two-phase trace with attrs of every value shape *)
+let build_trace ?(session = 3) ?(tag = "v") () =
+  let obs = Obs.create ~session () in
+  Obs.with_span obs ~phase:"outer" "root" (fun root ->
+      Obs.attr obs root "s" (Obs.Str ("esc\"ape\n" ^ tag));
+      Obs.attr obs root "i" (Obs.Int 42);
+      Obs.attr obs root "f" (Obs.Float 1.5);
+      Obs.attr obs root "b" (Obs.Bool true);
+      Obs.with_span obs ~parent:root ~phase:"inner" "left" (fun h ->
+          Obs.event obs h ~attrs:[ ("n", Obs.Int 3) ] "tick");
+      Obs.with_span obs ~parent:root ~phase:"inner" "right" (fun _ -> ()));
+  obs
+
+let phase_stat a name =
+  match
+    List.find_opt (fun ps -> ps.Analysis.ps_phase = name) (Analysis.phase_stats a)
+  with
+  | Some ps -> ps
+  | None -> Alcotest.fail ("no phase " ^ name)
+
+(* -- per-phase statistics -- *)
+
+let test_phase_stats () =
+  let a = Analysis.of_traces [ build_trace () ] in
+  check_int "three spans" 3 (Analysis.span_count a);
+  check_int "one event" 1 (Analysis.event_count a);
+  Alcotest.(check (list int)) "one session" [ 3 ] (Analysis.sessions a);
+  let outer = phase_stat a "outer" and inner = phase_stat a "inner" in
+  check_int "one outer span" 1 outer.Analysis.ps_spans;
+  check_int "two inner spans" 2 inner.Analysis.ps_spans;
+  check_int "event counted on its phase" 1 inner.Analysis.ps_events;
+  (* the children occupy sub-ranges of the root, so root self time is
+     its total minus everything the inner phase spent *)
+  check_int "self = total minus children"
+    (outer.Analysis.ps_total_vt - inner.Analysis.ps_total_vt)
+    outer.Analysis.ps_self_vt;
+  check "self times non-negative" true
+    (List.for_all (fun ps -> ps.Analysis.ps_self_vt >= 0) (Analysis.phase_stats a));
+  (* rows come out sorted by phase name, deterministically *)
+  Alcotest.(check (list string))
+    "sorted by phase" [ "inner"; "outer" ]
+    (List.map (fun ps -> ps.Analysis.ps_phase) (Analysis.phase_stats a))
+
+(* -- critical path -- *)
+
+let test_critical_path () =
+  let obs = Obs.create () in
+  Obs.with_span obs ~phase:"p" "root" (fun root ->
+      Obs.with_span obs ~parent:root ~phase:"p" "short" (fun _ -> ());
+      Obs.with_span obs ~parent:root ~phase:"p" "long" (fun h ->
+          Obs.event obs h "e1";
+          Obs.event obs h "e2";
+          Obs.with_span obs ~parent:h ~phase:"p" "leaf" (fun _ -> ())));
+  let a = Analysis.of_traces [ obs ] in
+  let path = Analysis.critical_path a in
+  Alcotest.(check (list string))
+    "descends into the longest child" [ "root"; "long"; "leaf" ]
+    (List.map (fun st -> st.Analysis.st_name) path);
+  List.iter (fun st -> check "self non-negative" true (st.Analysis.st_self >= 0)) path;
+  (* each step nests inside its parent's vt range *)
+  ignore
+    (List.fold_left
+       (fun parent st ->
+         (match parent with
+         | Some (p : Analysis.path_step) ->
+           check "nested start" true (st.Analysis.st_start >= p.Analysis.st_start);
+           check "nested stop" true (st.Analysis.st_stop <= p.Analysis.st_stop)
+         | None -> ());
+         Some st)
+       None path);
+  check_int "empty set has no path" 0 (List.length (Analysis.critical_path (Analysis.of_views [])))
+
+(* -- folded stacks -- *)
+
+let test_folded_accounts_for_everything () =
+  let a = Analysis.of_traces [ build_trace () ] in
+  let folded = Analysis.folded a in
+  let self_total =
+    List.fold_left
+      (fun acc line ->
+        match String.rindex_opt line ' ' with
+        | None -> acc
+        | Some i ->
+          acc + int_of_string (String.sub line (i + 1) (String.length line - i - 1)))
+      0
+      (List.filter (( <> ) "") (String.split_on_char '\n' folded))
+  in
+  let stats_total =
+    List.fold_left (fun acc ps -> acc + ps.Analysis.ps_self_vt) 0 (Analysis.phase_stats a)
+  in
+  (* the flamegraph conserves time: line counts sum to the same total
+     virtual time the per-phase self columns account for *)
+  check_int "folded self times sum to the stats total" stats_total self_total;
+  check "stacks start at the root" true
+    (List.for_all
+       (fun line -> line = "" || String.length line >= 4 && String.sub line 0 4 = "root")
+       (String.split_on_char '\n' folded))
+
+(* -- structural diff -- *)
+
+let test_diff_identical_is_empty () =
+  let a = Analysis.of_traces [ build_trace () ] in
+  let b = Analysis.of_traces [ build_trace () ] in
+  check_int "same ops diff empty" 0 (List.length (Analysis.diff a b));
+  check_int "reflexive diff empty" 0 (List.length (Analysis.diff a a));
+  check_string "empty diff renders empty" "" (Analysis.render_diff (Analysis.diff a a))
+
+let test_diff_reports_changes () =
+  let a = Analysis.of_traces [ build_trace ~tag:"v1" () ] in
+  let b = Analysis.of_traces [ build_trace ~tag:"v2" () ] in
+  (match Analysis.diff a b with
+  | [ Analysis.Changed (path, what) ] ->
+    check "names the root span" true (String.length path > 0);
+    check "names the attr" true
+      (let contains h n =
+         let hn = String.length h and nn = String.length n in
+         let rec at i = i + nn <= hn && (String.sub h i nn = n || at (i + 1)) in
+         at 0
+       in
+       contains what "s ")
+  | d -> Alcotest.fail (Printf.sprintf "expected one Changed entry, got %d" (List.length d)));
+  (* an extra span shows up as only-in-one, not as noise on the rest *)
+  let wide = Obs.create ~session:3 () in
+  Obs.with_span wide ~phase:"outer" "root" (fun root ->
+      Obs.with_span wide ~parent:root ~phase:"inner" "left" (fun _ -> ());
+      Obs.with_span wide ~parent:root ~phase:"inner" "extra" (fun _ -> ()));
+  let narrow = Obs.create ~session:3 () in
+  Obs.with_span narrow ~phase:"outer" "root" (fun root ->
+      Obs.with_span narrow ~parent:root ~phase:"inner" "left" (fun _ -> ()));
+  let d =
+    Analysis.diff (Analysis.of_traces [ narrow ]) (Analysis.of_traces [ wide ])
+  in
+  check "extra span reported as only-right" true
+    (List.exists (function Analysis.Only_right _ -> true | _ -> false) d)
+
+(* -- JSONL round trip: re-parsed analytics equal in-memory analytics -- *)
+
+let test_jsonl_roundtrip () =
+  let traces = [ build_trace ~session:1 (); build_trace ~session:2 ~tag:"w" () ] in
+  let direct = Analysis.of_traces traces in
+  let exported = Obs.export ~producer:"test" Obs.Jsonl traces in
+  match Analysis.of_jsonl exported with
+  | Error m -> Alcotest.fail m
+  | Ok reparsed ->
+    check_int "same spans" (Analysis.span_count direct) (Analysis.span_count reparsed);
+    check_int "same events" (Analysis.event_count direct) (Analysis.event_count reparsed);
+    Alcotest.(check (list int))
+      "same sessions" (Analysis.sessions direct) (Analysis.sessions reparsed);
+    check_string "same folded stacks" (Analysis.folded direct) (Analysis.folded reparsed);
+    check_int "structurally identical" 0 (List.length (Analysis.diff direct reparsed))
+
+let test_jsonl_errors () =
+  (match Analysis.of_jsonl "not json at all" with
+  | Ok _ -> Alcotest.fail "garbage parsed"
+  | Error m ->
+    check "error carries the line number" true
+      (String.length m >= 7 && String.sub m 0 7 = "line 1:"));
+  match Analysis.of_jsonl "" with
+  | Ok a -> check_int "empty input, empty analysis" 0 (Analysis.span_count a)
+  | Error m -> Alcotest.fail m
+
+(* -- the real pipeline: re-parsed batch export matches the registry -- *)
+
+let test_batch_export_roundtrip () =
+  let module Service = Trust_serve.Service in
+  let outcome =
+    Service.run { Service.default with Service.sessions = 20; seed = 19L; trace = true }
+  in
+  let traces = Obs.batch_traces outcome.Service.obs in
+  let direct = Analysis.of_traces traces in
+  (match Analysis.of_jsonl (Obs.export Obs.Jsonl traces) with
+  | Error m -> Alcotest.fail m
+  | Ok reparsed ->
+    check_int "round trip structurally identical" 0
+      (List.length (Analysis.diff direct reparsed)));
+  check_int "one session per trace" 20 (List.length (Analysis.sessions direct))
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "per-phase statistics" `Quick test_phase_stats;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "folded conserves time" `Quick test_folded_accounts_for_everything;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical traces" `Quick test_diff_identical_is_empty;
+          Alcotest.test_case "reported changes" `Quick test_diff_reports_changes;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "round trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "errors and empties" `Quick test_jsonl_errors;
+          Alcotest.test_case "batch export round trip" `Quick test_batch_export_roundtrip;
+        ] );
+    ]

@@ -42,7 +42,8 @@ let test_null_sink () =
   Obs.finish obs h;
   check_string "empty jsonl" "" (Obs.export Obs.Jsonl [ obs ]);
   check_string "empty chrome array" "[]\n" (Obs.export Obs.Chrome [ obs ]);
-  check_string "empty tree" "" (Obs.export Obs.Tree [ obs ])
+  check_string "empty tree" "" (Obs.export Obs.Tree [ obs ]);
+  check_string "empty folded" "" (Obs.export Obs.Folded [ obs ])
 
 (* -- virtual timestamps: identical op sequences export byte-identically -- *)
 
@@ -59,7 +60,7 @@ let test_deterministic_export () =
   List.iter
     (fun fmt ->
       check_string "same ops, same bytes" (Obs.export fmt [ a ]) (Obs.export fmt [ b ]))
-    [ Obs.Jsonl; Obs.Chrome; Obs.Tree ]
+    [ Obs.Jsonl; Obs.Chrome; Obs.Tree; Obs.Folded ]
 
 let test_volatile_attrs_never_exported () =
   let obs = Obs.create () in
@@ -72,6 +73,99 @@ let test_volatile_attrs_never_exported () =
       check "deterministic attr exported" true (contains out "stable");
       check "volatile attr quarantined" false (contains out "racy"))
     [ Obs.Jsonl; Obs.Chrome; Obs.Tree ]
+
+(* -- exporter edge cases, across every format -- *)
+
+let all_formats = [ Obs.Jsonl; Obs.Chrome; Obs.Tree; Obs.Folded ]
+
+let test_format_of_string () =
+  List.iter2
+    (fun name fmt ->
+      check (name ^ " parses") true (Obs.format_of_string name = Some fmt);
+      check (name ^ " case-insensitive") true
+        (Obs.format_of_string (String.uppercase_ascii name) = Some fmt))
+    Obs.format_names all_formats;
+  check "unknown format rejected" true (Obs.format_of_string "flamegraph" = None);
+  check "empty string rejected" true (Obs.format_of_string "" = None)
+
+let test_export_empty_trace_list () =
+  List.iter
+    (fun fmt ->
+      let out = Obs.export fmt [] in
+      match fmt with
+      | Obs.Chrome -> check_string "chrome empty array" "[]\n" out
+      | Obs.Jsonl | Obs.Tree | Obs.Folded -> check_string "empty output" "" out)
+    all_formats
+
+let test_export_zero_span_trace () =
+  let obs = Obs.create ~session:5 () in
+  check_string "jsonl empty" "" (Obs.export Obs.Jsonl [ obs ]);
+  check_string "chrome empty array" "[]\n" (Obs.export Obs.Chrome [ obs ]);
+  check_string "folded empty" "" (Obs.export Obs.Folded [ obs ]);
+  (* the tree keeps its banner, so an empty trace is still visible *)
+  check_string "tree banner only" "trace session=5 (vt 0..0)\n" (Obs.export Obs.Tree [ obs ])
+
+let test_event_on_finished_span () =
+  let obs = Obs.create () in
+  let h = Obs.span obs ~phase:"p" "s" in
+  Obs.finish obs h;
+  Obs.event obs h "late";
+  List.iter
+    (fun fmt ->
+      let out = Obs.export fmt [ obs ] in
+      check "late event still attributed to its span" true
+        (fmt = Obs.Folded || contains out "late"))
+    all_formats;
+  (* folded self time stays non-negative even though the event ticked
+     the clock after the span closed *)
+  let folded = Obs.export Obs.Folded [ obs ] in
+  check "no negative self time" false (contains folded "-")
+
+let test_deep_nesting () =
+  let obs = Obs.create () in
+  let rec nest parent depth =
+    if depth < 50 then
+      Obs.with_span obs ?parent ~phase:"deep" (Printf.sprintf "d%d" depth) (fun h ->
+          nest (Some h) (depth + 1))
+  in
+  nest None 0;
+  List.iter
+    (fun fmt -> check "deepest span exported" true (contains (Obs.export fmt [ obs ]) "d49"))
+    all_formats;
+  let folded = Obs.export Obs.Folded [ obs ] in
+  let deepest =
+    List.find_opt (fun l -> contains l "d49") (String.split_on_char '\n' folded)
+  in
+  (match deepest with
+  | None -> Alcotest.fail "no folded line for the deepest span"
+  | Some line -> check_int "50 frames on the deepest stack" 50 (count line ";" + 1));
+  (* every span is open-ended (finished by with_span) and non-negative *)
+  check "counts parse" true
+    (List.for_all
+       (fun line ->
+         line = ""
+         ||
+         match String.rindex_opt line ' ' with
+         | None -> false
+         | Some i ->
+           int_of_string_opt (String.sub line (i + 1) (String.length line - i - 1)) <> None)
+       (String.split_on_char '\n' folded))
+
+let test_escaping () =
+  let obs = Obs.create () in
+  Obs.with_span obs ~phase:"p; q" "name with space" (fun h ->
+      Obs.attr obs h "quote" (Obs.Str "a\"b\\c\nd");
+      Obs.with_span obs ~parent:h ~phase:"p" "semi;colon" (fun _ -> ()));
+  let jsonl = Obs.export Obs.Jsonl [ obs ] in
+  check "json string escaped" true (contains jsonl "a\\\"b\\\\c\\nd");
+  check "jsonl parses back" true
+    (match Trust_obs.Analysis.of_jsonl jsonl with Ok _ -> true | Error _ -> false);
+  let folded = Obs.export Obs.Folded [ obs ] in
+  check "frame semicolon escaped" true (contains folded "semi\\;colon");
+  check "frame spaces flattened" true (contains folded "name_with_space");
+  let chrome = Obs.export Obs.Chrome [ obs ] in
+  check "chrome is one json document" true
+    (String.length chrome >= 3 && chrome.[0] = '[')
 
 (* -- the reduce profiler: per-rule counters and the deletion timeline -- *)
 
@@ -168,6 +262,15 @@ let () =
           Alcotest.test_case "null sink" `Quick test_null_sink;
           Alcotest.test_case "deterministic export" `Quick test_deterministic_export;
           Alcotest.test_case "volatile quarantine" `Quick test_volatile_attrs_never_exported;
+        ] );
+      ( "exporter edge cases",
+        [
+          Alcotest.test_case "format names" `Quick test_format_of_string;
+          Alcotest.test_case "empty trace list" `Quick test_export_empty_trace_list;
+          Alcotest.test_case "zero-span trace" `Quick test_export_zero_span_trace;
+          Alcotest.test_case "event on a finished span" `Quick test_event_on_finished_span;
+          Alcotest.test_case "50-deep nesting" `Quick test_deep_nesting;
+          Alcotest.test_case "escaping" `Quick test_escaping;
         ] );
       ("profiler", [ Alcotest.test_case "reduce counters" `Quick test_reduce_profiler ]);
       ( "determinism",
