@@ -17,6 +17,10 @@
      main.exe --obs-json      tracing overhead: the serve workload with the
                               batch trace registry off vs on, JSON on stdout
                               (the BENCH_obs.json baseline)
+     main.exe --daemon-json   daemon soak: a live server on a Unix socket
+                              under the million-principal Zipf load
+                              generator, JSON on stdout
+                              (the BENCH_daemon.json baseline)
 *)
 
 open Exchange
@@ -737,6 +741,74 @@ let obs_json () =
     (Analysis.event_count analysis)
     (List.length (Analysis.sessions analysis))
 
+(* Daemon soak: a real server (Unix socket, select loop, admission
+   control, epoch aging) in a spawned domain, driven by the Zipf load
+   generator over the million-principal universe. The claim-bearing
+   numbers are throughput, tail latency, and that memory stays bounded
+   while the cache ages the long tail out (aged_out > 0). The
+   committed baseline lives in BENCH_daemon.json. *)
+
+let daemon_json () =
+  let module Server = Trust_daemon.Server in
+  let module Loadgen = Trust_daemon.Loadgen in
+  let module Procstat = Trust_daemon.Procstat in
+  let requests = if !quick then 300 else 5000 in
+  let principals = if !quick then 50_000 else 1_000_000 in
+  let sock = Printf.sprintf "/tmp/trustseq-bench-%d.sock" (Unix.getpid ()) in
+  if Sys.file_exists sock then Sys.remove sock;
+  let stop = Atomic.make false in
+  let cfg =
+    {
+      Server.default with
+      Server.unix_path = Some sock;
+      cache_capacity = 2048;
+      epoch_every = 256;
+      max_idle_epochs = 2;
+    }
+  in
+  let srv = Domain.spawn (fun () -> Server.run ~stop cfg) in
+  let rec await n =
+    if Sys.file_exists sock then ()
+    else if n = 0 then begin
+      Atomic.set stop true;
+      ignore (Domain.join srv);
+      prerr_endline "daemon soak: server socket never appeared";
+      exit 2
+    end
+    else begin
+      (try ignore (Unix.select [] [] [] 0.01) with Unix.Unix_error _ -> ());
+      await (n - 1)
+    end
+  in
+  await 500;
+  let rss_start = Procstat.rss_kb () in
+  let lg =
+    {
+      Loadgen.default with
+      Loadgen.connect = "unix:" ^ sock;
+      requests;
+      seed = 7L;
+      universe = { Workload.Universe.default_config with Workload.Universe.principals };
+    }
+  in
+  let outcome = Loadgen.run lg in
+  let rss_end = Procstat.rss_kb () in
+  Atomic.set stop true;
+  let stats = Domain.join srv in
+  let rss_peak = Procstat.peak_rss_kb () in
+  match outcome with
+  | Error e ->
+    prerr_endline ("daemon soak: " ^ e);
+    exit 2
+  | Ok r ->
+    Printf.printf
+      "{\"bench\":\"daemon_soak\",\"version\":\"%s\",\"requests\":%d,\"principals\":%d,\"seed\":7,\"wall_seconds\":%.3f,\"throughput_rps\":%.1f,\"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,\"max\":%.3f},\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"busy\":%d,\"dropped\":%d,\"cache_hits\":%d,\"rss_kb\":{\"start\":%d,\"end\":%d,\"peak\":%d},\"server\":%s}\n"
+      Trustseq_version.Version.v requests principals r.Loadgen.wall
+      r.Loadgen.throughput r.Loadgen.p50_ms r.Loadgen.p90_ms r.Loadgen.p99_ms
+      r.Loadgen.max_ms r.Loadgen.settled r.Loadgen.expired r.Loadgen.aborted
+      r.Loadgen.busy r.Loadgen.dropped r.Loadgen.cache_hits rss_start rss_end
+      rss_peak (Server.stats_json stats)
+
 (* driver *)
 
 let experiments =
@@ -774,6 +846,10 @@ let () =
   end;
   if List.mem "--obs-json" args then begin
     obs_json ();
+    exit 0
+  end;
+  if List.mem "--daemon-json" args then begin
+    daemon_json ();
     exit 0
   end;
   let table =

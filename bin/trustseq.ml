@@ -832,7 +832,7 @@ let trace_diff_cmd =
 
 let batch_cmd =
   let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify json
-      trace_out trace_format debug_gauges =
+      out trace_out trace_format debug_gauges =
     let module Service = Trust_serve.Service in
     let trace_format = trace_format_or_die trace_format in
     if sessions < 0 then (
@@ -852,11 +852,13 @@ let batch_cmd =
       prerr_endline "trustseq: --defect-every must be at least 1";
       exit 2
     | _ -> ());
-    (match trace_out with
-    | Some "-" ->
-      (* stdout carries the deterministic snapshot; a trace there would
-         corrupt the byte-identical contract *)
-      prerr_endline "trustseq: batch --trace needs a file path, not '-'";
+    (* The standard-streams rule (README "Standard streams"): at most
+       one output may claim stdout. The snapshot defaults to stdout, so
+       a stdout trace needs the snapshot redirected with --out. *)
+    (match (trace_out, out) with
+    | Some "-", "-" ->
+      prerr_endline
+        "trustseq: at most one output may claim stdout: batch --trace - needs --out FILE";
       exit 2
     | _ -> ());
     let config =
@@ -876,8 +878,9 @@ let batch_cmd =
       }
     in
     let outcome = Service.run config in
-    if json then print_string (Service.json outcome)
-    else Format.printf "%a" Service.report outcome;
+    land_output out
+      (if json then Service.json outcome
+       else Format.asprintf "%a" Service.report outcome);
     Option.iter
       (fun path -> write_trace trace_format path (Obs.batch_traces outcome.Service.obs))
       trace_out;
@@ -952,14 +955,23 @@ let batch_cmd =
           ~doc:"Re-synthesize on every cache hit and fail loudly on divergence.")
   in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the deterministic snapshot to $(docv) (default stdout). Required (non-'-') \
+             when --trace also wants stdout — at most one output may claim it.")
+  in
   let trace_out =
     Arg.(
       value
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
           ~doc:
-            "Record one structured trace per session and write them all to $(docv). Span sets \
-             are byte-identical at any --jobs (see docs/OBS.md).")
+            "Record one structured trace per session and write them all to $(docv) ('-' for \
+             stdout, only with --out FILE). Span sets are byte-identical at any --jobs (see \
+             docs/OBS.md).")
   in
   let debug_gauges =
     Arg.(
@@ -977,8 +989,394 @@ let batch_cmd =
           (protocol cache + batch scheduler) and print a deterministic metrics report.")
     Term.(
       const run $ sessions $ seed $ concurrency $ jobs $ mode $ density $ drop_rate $ defect_every
-      $ no_rescue $ verify $ json $ trace_out $ trace_format_arg ~default:"jsonl" "--trace"
+      $ no_rescue $ verify $ json $ out $ trace_out $ trace_format_arg ~default:"jsonl" "--trace"
       $ debug_gauges)
+
+(* serve / submit / loadgen — the daemon and its clients *)
+
+let tcp_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg "tcp listener is HOST:PORT")
+    | Some i -> (
+      let host = String.sub s 0 i in
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port when port > 0 && port < 65536 -> Ok (host, port)
+      | Some _ | None -> Error (`Msg "tcp listener needs a port in [1, 65535]"))
+  in
+  Arg.conv (parse, fun ppf (h, p) -> Format.fprintf ppf "%s:%d" h p)
+
+let connect_arg =
+  Arg.(
+    value
+    & opt string "unix:/tmp/trustseq.sock"
+    & info [ "connect" ] ~docv:"ADDR"
+        ~doc:
+          "Daemon address: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare Unix-socket path \
+           (default unix:/tmp/trustseq.sock).")
+
+let serve_cmd =
+  let module Server = Trust_daemon.Server in
+  let run socket tcp max_pending cache_capacity epoch_every max_idle deadline latency mode
+      no_rescue verify metrics_out trace_out =
+    if socket = None && tcp = None then begin
+      prerr_endline "trustseq: serve needs --socket PATH and/or --tcp HOST:PORT";
+      exit 2
+    end;
+    if max_pending < 0 then (
+      prerr_endline "trustseq: --max-pending must be non-negative";
+      exit 2);
+    if cache_capacity < 1 then (
+      prerr_endline "trustseq: --cache-capacity must be at least 1";
+      exit 2);
+    if epoch_every < 0 then (
+      prerr_endline "trustseq: --epoch-every must be non-negative (0 disables aging)";
+      exit 2);
+    if max_idle < 1 then (
+      prerr_endline "trustseq: --max-idle-epochs must be at least 1";
+      exit 2);
+    (match trace_out with
+    | Some "-" ->
+      (* the same standard-streams rule as batch: the daemon's stderr
+         carries its status lines, stdout stays silent, and the trace
+         stream is appended per request — it needs a real file *)
+      prerr_endline "trustseq: serve --trace needs a file path, not '-'";
+      exit 2
+    | _ -> ());
+    let config =
+      {
+        Server.default with
+        Server.unix_path = socket;
+        tcp;
+        policy =
+          {
+            Trust_serve.Cache.default_policy with
+            Trust_serve.Cache.mode;
+            rescue = not no_rescue;
+            verify;
+          };
+        cache_capacity;
+        scheduler =
+          {
+            Trust_serve.Scheduler.default_config with
+            Trust_serve.Scheduler.session_deadline = deadline;
+            latency;
+          };
+        max_pending;
+        epoch_every;
+        max_idle_epochs = max_idle;
+        snapshot_path = metrics_out;
+        trace_path = trace_out;
+        banner = "trustseq " ^ version;
+      }
+    in
+    let stop = Atomic.make false in
+    let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+    Sys.set_signal Sys.sigterm handler;
+    Sys.set_signal Sys.sigint handler;
+    List.iter
+      (fun l -> prerr_endline ("trustseq serve: listening on " ^ l))
+      ((match socket with Some p -> [ "unix:" ^ p ] | None -> [])
+      @ match tcp with Some (h, p) -> [ Printf.sprintf "tcp:%s:%d" h p ] | None -> []);
+    let stats = Server.run ~stop config in
+    prerr_endline ("trustseq serve: drained " ^ Server.stats_json stats);
+    if stats.Server.drained then 0 else 1
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Listen on this Unix socket (created, then unlinked on exit).")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some tcp_conv) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"Also (or instead) listen on TCP.")
+  in
+  let max_pending =
+    Arg.(
+      value & opt int 64
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission bound: submissions queued beyond $(docv) in one poll round are answered \
+             $(b,busy) instead of buffered (0 bounces everything).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"Protocol-cache resident-entry bound.")
+  in
+  let epoch_every =
+    Arg.(
+      value & opt int 256
+      & info [ "epoch-every" ] ~docv:"N"
+          ~doc:
+            "Advance the cache epoch every $(docv) served requests, sweeping idle entries and \
+             rewriting --metrics-out (0 disables aging).")
+  in
+  let max_idle =
+    Arg.(
+      value & opt int 2
+      & info [ "max-idle-epochs" ] ~docv:"N"
+          ~doc:"Sweep cache entries untouched for $(docv) whole epochs.")
+  in
+  let deadline =
+    Arg.(
+      value & opt int 1000
+      & info [ "deadline" ] ~docv:"TICKS" ~doc:"Per-session engine escrow deadline.")
+  in
+  let latency =
+    Arg.(value & opt int 1 & info [ "latency" ] ~docv:"TICKS" ~doc:"Engine delivery latency.")
+  in
+  let mode =
+    Arg.(
+      value
+      & opt
+          (enum
+             [
+               ("lockstep", Trust_sim.Harness.Lockstep);
+               ("distributed", Trust_sim.Harness.Distributed);
+             ])
+          Trust_sim.Harness.Lockstep
+      & info [ "mode" ] ~docv:"MODE" ~doc:"Protocol mode: lockstep (paper-sound) or distributed.")
+  in
+  let no_rescue =
+    Arg.(value & flag & info [ "no-rescue" ] ~doc:"Do not rescue infeasible specs with indemnities.")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify-cache" ]
+          ~doc:"Re-synthesize on every cache hit and fail loudly on divergence.")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite the deterministic metrics exposition here (atomic rename) at every epoch \
+             tick and on drain.")
+  in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Append one JSONL trace per request (a daemon.request root span) to $(docv).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the long-lived exchange service: spec submissions arrive over a length-prefixed \
+         JSON wire protocol (docs/DAEMON.md), each runs the same lifecycle as a batch session — \
+         admission lint, cached synthesis, engine run, audit — and the verdict travels back \
+         with the session's exposure tallies. Admission control answers $(b,busy) past \
+         --max-pending; the protocol cache ages by epochs so the Zipf long tail is swept while \
+         heavy hitters stay warm.";
+      `P
+        "SIGTERM or SIGINT drains gracefully: stop accepting, finish everything admitted, \
+         flush responses, write the final --metrics-out snapshot, exit 0.";
+      `S Manpage.s_exit_status;
+      `P "0 — clean drain after SIGTERM/SIGINT.";
+      `P "1 — the event loop exited without draining (internal error).";
+      `P "2 — bad flags (no listener, invalid bounds).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~man
+       ~doc:
+         "Run the exchange daemon: wire-protocol submissions, admission control, epoch-aged \
+          protocol cache, graceful drain.")
+    Term.(
+      const run $ socket $ tcp $ max_pending $ cache_capacity $ epoch_every $ max_idle $ deadline
+      $ latency $ mode $ no_rescue $ verify $ metrics_out $ trace_out)
+
+let submit_cmd =
+  let module Client = Trust_daemon.Client in
+  let module Wire = Trust_daemon.Wire in
+  let run file connect timeout quiet =
+    let src = read_source file in
+    let die msg =
+      prerr_endline ("trustseq: " ^ msg);
+      exit 2
+    in
+    match Client.connect ~timeout connect with
+    | Error e -> die e
+    | Ok client -> (
+      let resp = Client.submit client ~id:1 ~spec:src in
+      Client.close client;
+      match resp with
+      | Error e -> die e
+      | Ok (Wire.Busy _) -> die "server busy (admission bound reached); retry later"
+      | Ok (Wire.Refused { reason; _ }) -> die ("refused: " ^ reason)
+      | Ok (Wire.Welcome _ | Wire.Pong _ | Wire.Text _) ->
+        die "unexpected response to submit"
+      | Ok
+          (Wire.Result
+            {
+              status;
+              exit_code;
+              cache_hit;
+              ticks;
+              events;
+              attempts;
+              exposure_peak;
+              exposure_ticks;
+              exposure_violations;
+              reason;
+              _;
+            }) ->
+        if not quiet then begin
+          print_string
+            (Report.Table.kv
+               [
+                 ("status", status);
+                 ("cache", (if cache_hit then "hit" else "miss"));
+                 ("attempts", string_of_int attempts);
+                 ("ticks", string_of_int ticks);
+                 ("events", string_of_int events);
+                 ( "exposure",
+                   Printf.sprintf "peak %s, %d risk ticks, %d violations"
+                     (Report.Table.money exposure_peak)
+                     exposure_ticks exposure_violations );
+               ]);
+          Option.iter (fun reason -> Printf.printf "reason: %s\n" reason) reason
+        end;
+        exit_code)
+  in
+  let timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Receive timeout per response.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No output; the exit code is the verdict.")
+  in
+  let man =
+    [
+      `S Manpage.s_exit_status;
+      `P "0 — the session settled (every party reached its preferred outcome).";
+      `P "1 — the session expired or aborted (defection, infeasible spec).";
+      `P "2 — transport or protocol failure: no daemon, busy, refused, parse error.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "submit" ~man
+       ~doc:
+         "Submit one specification to a running daemon over the wire protocol and report its \
+          verdict (same exit contract as check/simulate).")
+    Term.(const run $ file_arg $ connect_arg $ timeout $ quiet)
+
+let loadgen_cmd =
+  let module Loadgen = Trust_daemon.Loadgen in
+  let module Universe = Workload.Universe in
+  let run connect requests principals seed zipf_consumers zipf_brokers templates template_share
+      busy_retries json =
+    if requests < 1 then (
+      prerr_endline "trustseq: --requests must be at least 1";
+      exit 2);
+    if template_share < 0. || template_share > 1. then (
+      prerr_endline "trustseq: --template-share must lie in [0, 1]";
+      exit 2);
+    let universe =
+      {
+        Universe.default_config with
+        Universe.principals;
+        s_consumers = zipf_consumers;
+        s_brokers = zipf_brokers;
+        templates;
+        template_share;
+      }
+    in
+    let cfg =
+      {
+        Loadgen.connect;
+        requests;
+        universe;
+        seed = Int64.of_int seed;
+        busy_retries;
+      }
+    in
+    match Loadgen.run cfg with
+    | exception Invalid_argument m ->
+      prerr_endline ("trustseq: " ^ m);
+      exit 2
+    | Error e ->
+      prerr_endline ("trustseq: " ^ e);
+      exit 2
+    | Ok report ->
+      if json then print_endline (Loadgen.json report) else print_string (Loadgen.table report);
+      if report.Loadgen.dropped > 0 then 1 else 0
+  in
+  let requests =
+    Arg.(value & opt int 1000 & info [ "requests" ] ~docv:"N" ~doc:"Submissions to send.")
+  in
+  let principals =
+    Arg.(
+      value
+      & opt int Universe.default_config.Universe.principals
+      & info [ "principals" ] ~docv:"N"
+          ~doc:"Synthetic principal universe size (default one million).")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Workload PRNG seed.")
+  in
+  let zipf_consumers =
+    Arg.(
+      value
+      & opt float Universe.default_config.Universe.s_consumers
+      & info [ "zipf-consumers" ] ~docv:"S" ~doc:"Consumer popularity exponent (long tail).")
+  in
+  let zipf_brokers =
+    Arg.(
+      value
+      & opt float Universe.default_config.Universe.s_brokers
+      & info [ "zipf-brokers" ] ~docv:"S" ~doc:"Broker/agent popularity exponent (heavy hitters).")
+  in
+  let templates =
+    Arg.(
+      value
+      & opt int Universe.default_config.Universe.templates
+      & info [ "templates" ] ~docv:"N" ~doc:"Catalog template count (0 disables replays).")
+  in
+  let template_share =
+    Arg.(
+      value
+      & opt float Universe.default_config.Universe.template_share
+      & info [ "template-share" ] ~docv:"P"
+          ~doc:"Fraction of traffic replaying catalog templates (cache-hot).")
+  in
+  let busy_retries =
+    Arg.(
+      value & opt int 25
+      & info [ "busy-retries" ] ~docv:"N" ~doc:"Retries per request after a busy answer.")
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as one JSON line.") in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Drives a running daemon with deterministic Zipf-distributed traffic over a synthetic \
+         principal universe: heavy-hitter brokers, a long tail of consumers, and an optional \
+         catalog-template slice that repeats byte-identical specs to exercise the protocol \
+         cache. Latencies are wall-clock and belong in benchmarks, not snapshots.";
+      `S Manpage.s_exit_status;
+      `P "0 — every request got a result.";
+      `P "1 — some requests were dropped after exhausting --busy-retries.";
+      `P "2 — transport failure or invalid flags.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "loadgen" ~man
+       ~doc:
+         "Generate Zipf-distributed load against a running daemon and report throughput and \
+          latency percentiles.")
+    Term.(
+      const run $ connect_arg $ requests $ principals $ seed $ zipf_consumers $ zipf_brokers
+      $ templates $ template_share $ busy_retries $ json)
 
 (* petri *)
 
@@ -1006,6 +1404,6 @@ let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
     (Cmd.info "trustseq" ~version ~doc)
-    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd ]
+    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; serve_cmd; submit_cmd; loadgen_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

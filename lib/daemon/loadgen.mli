@@ -1,0 +1,45 @@
+(** The Zipf load generator: drives a running daemon with
+    {!Workload.Universe} traffic and measures what the paper's
+    marketplace story needs measured — throughput and tail latency
+    under a realistic popularity law.
+
+    Spec draws are deterministic in the seed; latencies are wall-clock
+    and therefore {e not} — reports belong next to the other volatile
+    renderings (stderr, bench JSON), never in deterministic
+    snapshots. *)
+
+type config = {
+  connect : string;  (** {!Client.parse_addr} syntax *)
+  requests : int;
+  universe : Workload.Universe.config;
+  seed : int64;
+  busy_retries : int;  (** per-request retries after a [busy] answer *)
+}
+
+val default : config
+(** 1000 requests against [unix:/tmp/trustseq.sock] over the default
+    million-principal universe, seed 1, 25 busy retries. *)
+
+type report = {
+  sent : int;  (** submissions that got a [result] *)
+  settled : int;
+  expired : int;
+  aborted : int;
+  busy : int;  (** [busy] answers seen (before successful retries) *)
+  dropped : int;  (** requests abandoned after exhausting busy retries *)
+  cache_hits : int;  (** results served from the protocol cache *)
+  wall : float;  (** seconds for the whole run *)
+  throughput : float;  (** results per second *)
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+val run : config -> (report, string) result
+(** Connect, then submit [requests] sampled specs, one at a time,
+    timing each round trip. Transport and protocol failures abort the
+    run with a reason. *)
+
+val json : report -> string
+val table : report -> string

@@ -1,0 +1,22 @@
+let field_kb name =
+  match In_channel.with_open_text "/proc/self/status" In_channel.input_all with
+  | exception Sys_error _ -> 0
+  | text ->
+    let prefix = name ^ ":" in
+    let rec find = function
+      | [] -> 0
+      | line :: rest ->
+        if String.starts_with ~prefix line then
+          (* "VmRSS:     123456 kB" *)
+          let digits =
+            String.to_seq line
+            |> Seq.filter (fun c -> c >= '0' && c <= '9')
+            |> String.of_seq
+          in
+          if digits = "" then 0 else int_of_string digits
+        else find rest
+    in
+    find (String.split_on_char '\n' text)
+
+let rss_kb () = field_kb "VmRSS"
+let peak_rss_kb () = field_kb "VmHWM"

@@ -1,0 +1,10 @@
+(** Process memory readings, for the soak benchmark's bounded-memory
+    evidence. Linux-only by reading [/proc/self/status]; both readings
+    are [0] where that file is unavailable, so callers degrade to
+    "unmeasured", never crash. *)
+
+val rss_kb : unit -> int
+(** Current resident set size ([VmRSS]), in KiB. *)
+
+val peak_rss_kb : unit -> int
+(** Peak resident set size ([VmHWM]), in KiB. *)

@@ -1,0 +1,442 @@
+module Cache = Trust_serve.Cache
+module Metrics = Trust_serve.Metrics
+module Scheduler = Trust_serve.Scheduler
+module Session = Trust_serve.Session
+module Obs = Trust_obs.Obs
+
+type config = {
+  unix_path : string option;
+  tcp : (string * int) option;
+  policy : Cache.policy;
+  cache_capacity : int;
+  scheduler : Scheduler.config;
+  max_pending : int;
+  max_frame : int;
+  epoch_every : int;
+  max_idle_epochs : int;
+  snapshot_path : string option;
+  trace_path : string option;
+  banner : string;
+}
+
+let default =
+  {
+    unix_path = None;
+    tcp = None;
+    policy = Cache.default_policy;
+    cache_capacity = 4096;
+    scheduler = Scheduler.default_config;
+    max_pending = 64;
+    max_frame = Frame.default_max;
+    epoch_every = 256;
+    max_idle_epochs = 2;
+    snapshot_path = None;
+    trace_path = None;
+    banner = "trustseq";
+  }
+
+type stats = {
+  served : int;
+  settled : int;
+  expired : int;
+  aborted : int;
+  busy : int;
+  protocol_errors : int;
+  connections : int;
+  epochs : int;
+  aged_out : int;
+  cache_size : int;
+  drained : bool;
+}
+
+let stats_json s =
+  Printf.sprintf
+    {|{"served":%d,"settled":%d,"expired":%d,"aborted":%d,"busy":%d,"protocol_errors":%d,"connections":%d,"epochs":%d,"aged_out":%d,"cache_size":%d,"drained":%b}|}
+    s.served s.settled s.expired s.aborted s.busy s.protocol_errors s.connections
+    s.epochs s.aged_out s.cache_size s.drained
+
+(* -- connections -- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  decoder : Frame.decoder;
+  mutable greeted : bool;
+  out : Buffer.t;  (** encoded frames awaiting the socket *)
+  mutable out_off : int;  (** bytes of [out] already written *)
+  mutable closing : bool;  (** close once [out] is flushed *)
+  mutable alive : bool;
+}
+
+type srv = {
+  cfg : config;
+  metrics : Metrics.t;
+  cache : Cache.t;
+  pending : (conn * int * string) Admission.t;
+  trace_ch : out_channel option;
+  (* tallies (the daemon loop is single-threaded) *)
+  mutable next_session : int;
+  mutable served : int;
+  mutable settled : int;
+  mutable expired : int;
+  mutable aborted : int;
+  mutable busy : int;
+  mutable protocol_errors : int;
+  mutable connections : int;
+  mutable epochs : int;
+  (* registered once, bumped per event *)
+  requests_c : Metrics.counter;
+  busy_c : Metrics.counter;
+  proto_c : Metrics.counter;
+  conns_c : Metrics.counter;
+  epochs_c : Metrics.counter;
+  aged_c : Metrics.counter;
+}
+
+let send conn resp = Buffer.add_string conn.out (Frame.encode (Wire.encode_response resp))
+
+let try_flush conn =
+  if conn.alive then begin
+    let len = Buffer.length conn.out in
+    if len > conn.out_off then begin
+      let chunk = Buffer.to_bytes conn.out in
+      try
+        let n = Unix.write conn.fd chunk conn.out_off (len - conn.out_off) in
+        conn.out_off <- conn.out_off + n
+      with
+      | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | Unix.Unix_error _ -> conn.alive <- false
+    end;
+    if conn.alive && Buffer.length conn.out = conn.out_off then begin
+      Buffer.clear conn.out;
+      conn.out_off <- 0;
+      if conn.closing then conn.alive <- false
+    end
+  end
+
+let has_output conn = conn.alive && Buffer.length conn.out > conn.out_off
+
+let protocol_error srv conn reason =
+  srv.protocol_errors <- srv.protocol_errors + 1;
+  Metrics.incr srv.proto_c;
+  send conn (Wire.Refused { id = None; reason });
+  conn.closing <- true
+
+(* -- snapshots and aging -- *)
+
+let write_snapshot srv =
+  Option.iter
+    (fun path ->
+      let tmp = path ^ ".tmp" in
+      Out_channel.with_open_text tmp (fun ch ->
+          output_string ch (Metrics.to_text srv.metrics));
+      Sys.rename tmp path)
+    srv.cfg.snapshot_path
+
+let refresh_cache_gauges srv =
+  Metrics.gauge srv.metrics ~help:"current protocol-cache epoch" "serve_cache_epoch"
+    (float_of_int (Cache.epoch srv.cache));
+  Metrics.gauge srv.metrics ~help:"resident protocol-cache entries" "serve_cache_size"
+    (float_of_int (Cache.size srv.cache))
+
+let epoch_tick srv =
+  let swept = Cache.advance_epoch ~max_idle:srv.cfg.max_idle_epochs srv.cache in
+  srv.epochs <- srv.epochs + 1;
+  Metrics.incr srv.epochs_c;
+  if swept > 0 then Metrics.incr ~by:swept srv.aged_c;
+  refresh_cache_gauges srv;
+  write_snapshot srv
+
+(* -- request processing -- *)
+
+let zero_result ~id ~status ~exit_code ~reason =
+  Wire.Result
+    {
+      id;
+      status;
+      exit_code;
+      cache_hit = false;
+      ticks = 0;
+      events = 0;
+      attempts = 0;
+      exposure_peak = 0;
+      exposure_ticks = 0;
+      exposure_violations = 0;
+      reason;
+    }
+
+let process_submit srv conn ~id ~spec =
+  let n = srv.next_session in
+  srv.next_session <- n + 1;
+  let obs = match srv.trace_ch with None -> Obs.null | Some _ -> Obs.create ~session:n () in
+  let resp =
+    Obs.with_span obs ~phase:"daemon" "daemon.request" (fun root ->
+        if Obs.enabled obs then Obs.attr obs root "wire_id" (Obs.Int id);
+        match Trust_lang.Elaborate.from_string ~obs ~parent:root ~file:"<wire>" spec with
+        | Error e ->
+          srv.aborted <- srv.aborted + 1;
+          zero_result ~id ~status:"error" ~exit_code:2 ~reason:(Some e)
+        | Ok parsed ->
+          let session = Session.make ~id:n parsed in
+          Scheduler.process_one ~metrics:srv.metrics ~obs ~parent:root srv.cfg.scheduler
+            srv.cache session;
+          let status, exit_code, reason =
+            match session.Session.status with
+            | Session.Settled ->
+              srv.settled <- srv.settled + 1;
+              ("settled", 0, None)
+            | Session.Expired ->
+              srv.expired <- srv.expired + 1;
+              ("expired", 1, None)
+            | Session.Aborted r ->
+              srv.aborted <- srv.aborted + 1;
+              ("aborted", 1, Some r)
+            | Session.Queued | Session.Synthesizing | Session.Running ->
+              ("error", 2, Some "internal: session did not reach a terminal state")
+          in
+          Wire.Result
+            {
+              id;
+              status;
+              exit_code;
+              cache_hit = session.Session.cache_hit;
+              ticks = session.Session.ticks;
+              events = session.Session.events;
+              attempts = session.Session.attempts;
+              exposure_peak = session.Session.exposure_peak;
+              exposure_ticks = session.Session.exposure_ticks;
+              exposure_violations = session.Session.exposure_violations;
+              reason;
+            })
+  in
+  Option.iter
+    (fun ch ->
+      output_string ch (Obs.export Obs.Jsonl [ obs ]);
+      flush ch)
+    srv.trace_ch;
+  send conn resp;
+  srv.served <- srv.served + 1;
+  Metrics.incr srv.requests_c;
+  if srv.cfg.epoch_every > 0 && srv.served mod srv.cfg.epoch_every = 0 then epoch_tick srv
+
+let snapshot ?(drained = false) srv =
+  {
+    served = srv.served;
+    settled = srv.settled;
+    expired = srv.expired;
+    aborted = srv.aborted;
+    busy = srv.busy;
+    protocol_errors = srv.protocol_errors;
+    connections = srv.connections;
+    epochs = srv.epochs;
+    aged_out = Cache.aged_out srv.cache;
+    cache_size = Cache.size srv.cache;
+    drained;
+  }
+
+let handle_request srv conn = function
+  | Wire.Hello { version } ->
+    if conn.greeted then protocol_error srv conn "duplicate hello"
+    else if version <> Wire.version then
+      protocol_error srv conn
+        (Printf.sprintf "unsupported protocol version %d (server speaks %d)" version
+           Wire.version)
+    else begin
+      conn.greeted <- true;
+      send conn (Wire.Welcome { version = Wire.version; server = srv.cfg.banner })
+    end
+  | _ when not conn.greeted -> protocol_error srv conn "expected hello before any request"
+  | Wire.Ping { id } -> send conn (Wire.Pong { id })
+  | Wire.Metrics { id } ->
+    send conn (Wire.Text { id; kind = "metrics"; text = Metrics.to_text srv.metrics })
+  | Wire.Stats { id } ->
+    send conn (Wire.Text { id; kind = "stats"; text = stats_json (snapshot srv) })
+  | Wire.Submit { id; spec } ->
+    if not (Admission.try_push srv.pending (conn, id, spec)) then begin
+      srv.busy <- srv.busy + 1;
+      Metrics.incr srv.busy_c;
+      send conn (Wire.Busy { id })
+    end
+
+let handle_event srv conn = function
+  | Frame.Oversized announced ->
+    protocol_error srv conn
+      (Printf.sprintf "oversized frame: %d bytes announced (max %d)" announced
+         srv.cfg.max_frame)
+  | Frame.Frame payload -> (
+    match Wire.decode_request payload with
+    | Error e -> protocol_error srv conn e
+    | Ok req -> handle_request srv conn req)
+
+let handle_readable srv conn buf =
+  match Unix.read conn.fd buf 0 (Bytes.length buf) with
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> conn.alive <- false
+  | 0 -> conn.alive <- false
+  | n -> List.iter (handle_event srv conn) (Frame.feed conn.decoder buf n)
+
+let rec drain_pending srv =
+  match Admission.pop srv.pending with
+  | None -> ()
+  | Some (conn, id, spec) ->
+    (* a client that hung up forfeits its queued work; everyone else
+       gets a full run and a response *)
+    if conn.alive then process_submit srv conn ~id ~spec;
+    drain_pending srv
+
+(* -- listeners -- *)
+
+let listen_unix path =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  fd
+
+let listen_tcp (host, port) =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } -> raise Not_found
+      | h -> h.Unix.h_addr_list.(0))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  fd
+
+let accept_all srv listener conns =
+  let rec go () =
+    match Unix.accept listener with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> ()
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      srv.connections <- srv.connections + 1;
+      Metrics.incr srv.conns_c;
+      conns :=
+        {
+          fd;
+          decoder = Frame.create ~max_frame:srv.cfg.max_frame ();
+          greeted = false;
+          out = Buffer.create 256;
+          out_off = 0;
+          closing = false;
+          alive = true;
+        }
+        :: !conns;
+      go ()
+  in
+  go ()
+
+(* -- the loop -- *)
+
+let run ?(stop = Atomic.make false) ?metrics cfg =
+  if cfg.unix_path = None && cfg.tcp = None then
+    invalid_arg "Server.run: no listener configured";
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let metrics = match metrics with Some m -> m | None -> Metrics.create () in
+  let srv =
+    {
+      cfg;
+      metrics;
+      cache = Cache.create ~capacity:cfg.cache_capacity cfg.policy;
+      pending = Admission.create ~bound:cfg.max_pending ();
+      trace_ch = Option.map open_out cfg.trace_path;
+      next_session = 0;
+      served = 0;
+      settled = 0;
+      expired = 0;
+      aborted = 0;
+      busy = 0;
+      protocol_errors = 0;
+      connections = 0;
+      epochs = 0;
+      requests_c =
+        Metrics.counter metrics ~help:"wire submissions processed" "daemon_requests_total";
+      busy_c =
+        Metrics.counter metrics ~help:"submissions bounced by admission control"
+          "daemon_busy_total";
+      proto_c =
+        Metrics.counter metrics ~help:"handshake, framing and decode failures"
+          "daemon_protocol_errors_total";
+      conns_c = Metrics.counter metrics ~help:"connections accepted" "daemon_connections_total";
+      epochs_c = Metrics.counter metrics ~help:"cache epoch ticks" "daemon_epochs_total";
+      aged_c =
+        Metrics.counter metrics ~help:"cache entries swept by epoch aging"
+          "serve_cache_aged_out_total";
+    }
+  in
+  refresh_cache_gauges srv;
+  let listeners =
+    (match cfg.unix_path with None -> [] | Some p -> [ listen_unix p ])
+    @ (match cfg.tcp with None -> [] | Some hp -> [ listen_tcp hp ])
+  in
+  let conns = ref [] in
+  let buf = Bytes.create 65536 in
+  let sweep_dead () =
+    conns :=
+      List.filter
+        (fun c ->
+          if c.alive then true
+          else begin
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            false
+          end)
+        !conns
+  in
+  while not (Atomic.get stop) do
+    sweep_dead ();
+    let rd = listeners @ List.map (fun c -> c.fd) !conns in
+    let wr = List.filter_map (fun c -> if has_output c then Some c.fd else None) !conns in
+    (match Unix.select rd wr [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      List.iter
+        (fun fd ->
+          if List.memq fd listeners then accept_all srv fd conns
+          else
+            match List.find_opt (fun c -> c.fd == fd) !conns with
+            | Some conn when conn.alive -> handle_readable srv conn buf
+            | Some _ | None -> ())
+        readable;
+      drain_pending srv;
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun c -> c.fd == fd) !conns with
+          | Some conn -> try_flush conn
+          | None -> ())
+        writable;
+      (* opportunistic flush for responses generated this round *)
+      List.iter (fun c -> if has_output c then try_flush c) !conns)
+  done;
+  (* -- graceful drain: stop accepting, finish admitted work, flush -- *)
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) listeners;
+  Option.iter (fun p -> try Unix.unlink p with Unix.Unix_error _ -> ()) cfg.unix_path;
+  drain_pending srv;
+  let deadline = Unix.gettimeofday () +. 5. in
+  let rec flush_all () =
+    sweep_dead ();
+    let waiting = List.filter has_output !conns in
+    if waiting <> [] && Unix.gettimeofday () < deadline then begin
+      (match Unix.select [] (List.map (fun c -> c.fd) waiting) [] 0.1 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | _, writable, _ ->
+        List.iter
+          (fun fd ->
+            match List.find_opt (fun c -> c.fd == fd) !conns with
+            | Some conn -> try_flush conn
+            | None -> ())
+          writable);
+      flush_all ()
+    end
+  in
+  flush_all ();
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  refresh_cache_gauges srv;
+  write_snapshot srv;
+  Option.iter close_out srv.trace_ch;
+  snapshot ~drained:true srv

@@ -1,0 +1,133 @@
+module Json = Trust_obs.Json
+
+let version = 1
+
+type request =
+  | Hello of { version : int }
+  | Submit of { id : int; spec : string }
+  | Ping of { id : int }
+  | Metrics of { id : int }
+  | Stats of { id : int }
+
+type response =
+  | Welcome of { version : int; server : string }
+  | Result of {
+      id : int;
+      status : string;
+      exit_code : int;
+      cache_hit : bool;
+      ticks : int;
+      events : int;
+      attempts : int;
+      exposure_peak : int;
+      exposure_ticks : int;
+      exposure_violations : int;
+      reason : string option;
+    }
+  | Busy of { id : int }
+  | Pong of { id : int }
+  | Text of { id : int; kind : string; text : string }
+  | Refused of { id : int option; reason : string }
+
+let encode_request = function
+  | Hello { version } -> Printf.sprintf {|{"type":"hello","version":%d}|} version
+  | Submit { id; spec } ->
+    Printf.sprintf {|{"type":"submit","id":%d,"spec":"%s"}|} id (Json.escape spec)
+  | Ping { id } -> Printf.sprintf {|{"type":"ping","id":%d}|} id
+  | Metrics { id } -> Printf.sprintf {|{"type":"metrics","id":%d}|} id
+  | Stats { id } -> Printf.sprintf {|{"type":"stats","id":%d}|} id
+
+let encode_response = function
+  | Welcome { version; server } ->
+    Printf.sprintf {|{"type":"welcome","version":%d,"server":"%s"}|} version
+      (Json.escape server)
+  | Result r ->
+    Printf.sprintf
+      {|{"type":"result","id":%d,"status":"%s","exit_code":%d,"cache_hit":%b,"ticks":%d,"events":%d,"attempts":%d,"exposure_peak":%d,"exposure_ticks":%d,"exposure_violations":%d%s}|}
+      r.id (Json.escape r.status) r.exit_code r.cache_hit r.ticks r.events r.attempts
+      r.exposure_peak r.exposure_ticks r.exposure_violations
+      (match r.reason with
+      | None -> ""
+      | Some reason -> Printf.sprintf {|,"reason":"%s"|} (Json.escape reason))
+  | Busy { id } -> Printf.sprintf {|{"type":"busy","id":%d}|} id
+  | Pong { id } -> Printf.sprintf {|{"type":"pong","id":%d}|} id
+  | Text { id; kind; text } ->
+    Printf.sprintf {|{"type":"text","id":%d,"kind":"%s","text":"%s"}|} id
+      (Json.escape kind) (Json.escape text)
+  | Refused { id; reason } ->
+    Printf.sprintf {|{"type":"refused"%s,"reason":"%s"}|}
+      (match id with None -> "" | Some id -> Printf.sprintf {|,"id":%d|} id)
+      (Json.escape reason)
+
+let decode decoders payload =
+  match Json.parse payload with
+  | exception Json.Bad m -> Error ("bad json: " ^ m)
+  | j -> (
+    match Json.as_str (Json.field j "type") with
+    | exception Json.Bad m -> Error m
+    | ty -> (
+      match List.assoc_opt ty decoders with
+      | None -> Error (Printf.sprintf "unknown message type %S" ty)
+      | Some dec -> ( try dec j with Json.Bad m -> Error (ty ^ ": " ^ m))))
+
+let req_id j = Json.as_int (Json.field j "id")
+
+let decode_request =
+  decode
+    [
+      ("hello", fun j -> Ok (Hello { version = Json.as_int (Json.field j "version") }));
+      ( "submit",
+        fun j -> Ok (Submit { id = req_id j; spec = Json.as_str (Json.field j "spec") }) );
+      ("ping", fun j -> Ok (Ping { id = req_id j }));
+      ("metrics", fun j -> Ok (Metrics { id = req_id j }));
+      ("stats", fun j -> Ok (Stats { id = req_id j }));
+    ]
+
+let decode_response =
+  decode
+    [
+      ( "welcome",
+        fun j ->
+          Ok
+            (Welcome
+               {
+                 version = Json.as_int (Json.field j "version");
+                 server = Json.as_str (Json.field j "server");
+               }) );
+      ( "result",
+        fun j ->
+          Ok
+            (Result
+               {
+                 id = req_id j;
+                 status = Json.as_str (Json.field j "status");
+                 exit_code = Json.as_int (Json.field j "exit_code");
+                 cache_hit = Json.as_bool (Json.field j "cache_hit");
+                 ticks = Json.as_int (Json.field j "ticks");
+                 events = Json.as_int (Json.field j "events");
+                 attempts = Json.as_int (Json.field j "attempts");
+                 exposure_peak = Json.as_int (Json.field j "exposure_peak");
+                 exposure_ticks = Json.as_int (Json.field j "exposure_ticks");
+                 exposure_violations = Json.as_int (Json.field j "exposure_violations");
+                 reason = Option.map Json.as_str (Json.field_opt j "reason");
+               }) );
+      ("busy", fun j -> Ok (Busy { id = req_id j }));
+      ("pong", fun j -> Ok (Pong { id = req_id j }));
+      ( "text",
+        fun j ->
+          Ok
+            (Text
+               {
+                 id = req_id j;
+                 kind = Json.as_str (Json.field j "kind");
+                 text = Json.as_str (Json.field j "text");
+               }) );
+      ( "refused",
+        fun j ->
+          Ok
+            (Refused
+               {
+                 id = Option.map Json.as_int (Json.field_opt j "id");
+                 reason = Json.as_str (Json.field j "reason");
+               }) );
+    ]

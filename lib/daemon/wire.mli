@@ -1,0 +1,49 @@
+(** The daemon's request/response vocabulary: one JSON object per
+    {!Frame}, ["type"] discriminated.
+
+    The first frame on a connection must be [hello] carrying the
+    protocol version; the daemon answers [welcome] or [refused] (wrong
+    version) and closes on refusal. After the handshake, requests carry
+    a client-chosen [id] echoed verbatim in the response, so pipelined
+    requests correlate even though admission can reorder completions
+    around [busy] rejections.
+
+    Submissions carry the spec as DSL source text — the same surface
+    every other entry point parses — so the wire format never grows a
+    second spec encoding that could drift from the language. *)
+
+val version : int
+
+type request =
+  | Hello of { version : int }
+  | Submit of { id : int; spec : string }  (** DSL source *)
+  | Ping of { id : int }
+  | Metrics of { id : int }  (** deterministic snapshot, exposition text *)
+  | Stats of { id : int }  (** daemon counters as a JSON object *)
+
+type response =
+  | Welcome of { version : int; server : string }
+  | Result of {
+      id : int;
+      status : string;  (** ["settled" | "expired" | "aborted" | "error"] *)
+      exit_code : int;  (** the CLI contract: 0 settled, 1 not, 2 error *)
+      cache_hit : bool;
+      ticks : int;
+      events : int;
+      attempts : int;
+      exposure_peak : int;
+      exposure_ticks : int;
+      exposure_violations : int;
+      reason : string option;  (** abort/parse reason *)
+    }
+  | Busy of { id : int }  (** admission bound hit; retry later *)
+  | Pong of { id : int }
+  | Text of { id : int; kind : string; text : string }
+  | Refused of { id : int option; reason : string }
+      (** protocol error; the connection closes after this *)
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val decode_request : string -> (request, string) result
+val decode_response : string -> (response, string) result

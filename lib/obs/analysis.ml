@@ -8,185 +8,27 @@ type t = Obs.span_view list
 let of_views vs : t = vs
 let of_traces ts : t = List.concat_map Obs.views ts
 
-(* -- a minimal JSON reader for our own JSONL exporter output -- *)
+(* -- the minimal JSON reader lives in Json; keep local aliases so the
+   view-construction code below reads naturally -- *)
 
-exception Bad of string
+exception Bad = Json.Bad
 
-type json =
-  | J_null
-  | J_bool of bool
-  | J_num of string  (* kept raw: ids parse as int, attrs may be float *)
-  | J_str of string
-  | J_obj of (string * json) list
-  | J_arr of json list
-
-let parse_json line =
-  let n = String.length line in
-  let pos = ref 0 in
-  let fail msg = raise (Bad msg) in
-  let peek () = if !pos < n then Some line.[!pos] else None in
-  let skip_ws () =
-    while
-      !pos < n && (match line.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
-    do
-      incr pos
-    done
-  in
-  let expect c =
-    if !pos < n && line.[!pos] = c then incr pos
-    else fail (Printf.sprintf "expected '%c'" c)
-  in
-  let lit word v =
-    let k = String.length word in
-    if !pos + k <= n && String.sub line !pos k = word then (
-      pos := !pos + k;
-      v)
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let string_lit () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      if !pos >= n then fail "unterminated string"
-      else
-        match line.[!pos] with
-        | '"' -> incr pos
-        | '\\' ->
-          incr pos;
-          if !pos >= n then fail "dangling escape"
-          else (
-            (match line.[!pos] with
-            | '"' -> Buffer.add_char buf '"'
-            | '\\' -> Buffer.add_char buf '\\'
-            | '/' -> Buffer.add_char buf '/'
-            | 'n' -> Buffer.add_char buf '\n'
-            | 'r' -> Buffer.add_char buf '\r'
-            | 't' -> Buffer.add_char buf '\t'
-            | 'b' -> Buffer.add_char buf '\b'
-            | 'f' -> Buffer.add_char buf '\012'
-            | 'u' ->
-              if !pos + 4 >= n then fail "truncated \\u escape"
-              else (
-                let code = int_of_string ("0x" ^ String.sub line (!pos + 1) 4) in
-                pos := !pos + 4;
-                if code < 0x80 then Buffer.add_char buf (Char.chr code)
-                else if code < 0x800 then (
-                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
-                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F))))
-                else (
-                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
-                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
-                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))))
-            | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
-            incr pos;
-            go ())
-        | c ->
-          Buffer.add_char buf c;
-          incr pos;
-          go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let number () =
-    let start = !pos in
-    while
-      !pos < n
-      &&
-      match line.[!pos] with
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    do
-      incr pos
-    done;
-    if !pos = start then fail "expected a value"
-    else J_num (String.sub line start (!pos - start))
-  in
-  let rec value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' -> obj ()
-    | Some '[' -> arr ()
-    | Some '"' -> J_str (string_lit ())
-    | Some 't' -> lit "true" (J_bool true)
-    | Some 'f' -> lit "false" (J_bool false)
-    | Some 'n' -> lit "null" J_null
-    | Some _ -> number ()
-    | None -> fail "unexpected end of line"
-  and obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then (
-      incr pos;
-      J_obj [])
-    else (
-      let rec members acc =
-        skip_ws ();
-        let k = string_lit () in
-        skip_ws ();
-        expect ':';
-        let v = value () in
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          incr pos;
-          members ((k, v) :: acc)
-        | Some '}' ->
-          incr pos;
-          J_obj (List.rev ((k, v) :: acc))
-        | _ -> fail "expected ',' or '}'"
-      in
-      members [])
-  and arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then (
-      incr pos;
-      J_arr [])
-    else (
-      let rec elements acc =
-        let v = value () in
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          incr pos;
-          elements (v :: acc)
-        | Some ']' ->
-          incr pos;
-          J_arr (List.rev ((v) :: acc))
-        | _ -> fail "expected ',' or ']'"
-      in
-      elements [])
-  in
-  let v = value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing characters" else v
-
-let field obj k =
-  match obj with
-  | J_obj kvs -> (
-    match List.assoc_opt k kvs with
-    | Some v -> v
-    | None -> raise (Bad (Printf.sprintf "missing field %S" k)))
-  | _ -> raise (Bad "expected an object")
-
-let as_int = function
-  | J_num s -> ( try int_of_string s with _ -> raise (Bad ("not an integer: " ^ s)))
-  | _ -> raise (Bad "expected an integer")
-
-let as_str = function J_str s -> s | _ -> raise (Bad "expected a string")
+let parse_json = Json.parse
+let field = Json.field
+let as_int = Json.as_int
+let as_str = Json.as_str
 
 let as_value = function
-  | J_num s ->
+  | Json.Num s ->
     if String.contains s '.' || String.contains s 'e' || String.contains s 'E' then
       Obs.Float (float_of_string s)
     else Obs.Int (int_of_string s)
-  | J_str s -> Obs.Str s
-  | J_bool b -> Obs.Bool b
-  | J_null | J_obj _ | J_arr _ -> raise (Bad "unsupported attribute value")
+  | Json.Str s -> Obs.Str s
+  | Json.Bool b -> Obs.Bool b
+  | Json.Null | Json.Obj _ | Json.Arr _ -> raise (Bad "unsupported attribute value")
 
 let as_attrs = function
-  | J_obj kvs -> List.map (fun (k, v) -> (k, as_value v)) kvs
+  | Json.Obj kvs -> List.map (fun (k, v) -> (k, as_value v)) kvs
   | _ -> raise (Bad "expected an attrs object")
 
 let of_jsonl text =
@@ -206,7 +48,7 @@ let of_jsonl text =
             let session = as_int (field j "session") in
             let id = as_int (field j "id") in
             let parent =
-              match field j "parent" with J_null -> None | v -> Some (as_int v)
+              match field j "parent" with Json.Null -> None | v -> Some (as_int v)
             in
             let view =
               {

@@ -24,13 +24,16 @@ exception Divergence of string
    [fresh] runs {e under} the shard lock: concurrent lookups of one
    shape serialize, so the first is the single miss and the rest are
    hits, the same tallies a sequential run produces. *)
+type cached = { payload : (entry, string) result; mutable used_epoch : int }
+
 type shard = {
   lock : Mutex.t;
-  table : (string, (entry, string) result) Hashtbl.t;
+  table : (string, cached) Hashtbl.t;
   order : string Queue.t;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable aged_out : int;
 }
 
 type t = {
@@ -38,6 +41,8 @@ type t = {
   shard_capacity : int;
   shards : shard array;
   bypasses : int Atomic.t;
+  epoch : int Atomic.t;
+      (* advanced only by long-lived services; batch runs stay at 0 *)
 }
 
 let default_shards = 16
@@ -59,8 +64,10 @@ let create ?(capacity = 4096) ?(shards = default_shards) policy =
             hits = 0;
             misses = 0;
             evictions = 0;
+            aged_out = 0;
           });
     bypasses = Atomic.make 0;
+    epoch = Atomic.make 0;
   }
 
 let policy t = t.policy
@@ -152,22 +159,57 @@ let synthesize t spec =
         match Hashtbl.find_opt shard.table key with
         | Some cached ->
           shard.hits <- shard.hits + 1;
-          if t.policy.verify then verify t spec cached;
-          (cached, `Hit)
+          cached.used_epoch <- Atomic.get t.epoch;
+          if t.policy.verify then verify t spec cached.payload;
+          (cached.payload, `Hit)
         | None ->
           let value = fresh t.policy spec in
           if Hashtbl.length shard.table >= t.shard_capacity then begin
-            match Queue.take_opt shard.order with
-            | Some victim ->
-              Hashtbl.remove shard.table victim;
-              shard.evictions <- shard.evictions + 1
-            | None -> ()
+            (* the order queue may hold residue of aged-out keys; pop
+               until a live victim is found *)
+            let rec evict_one () =
+              match Queue.take_opt shard.order with
+              | Some victim when Hashtbl.mem shard.table victim ->
+                Hashtbl.remove shard.table victim;
+                shard.evictions <- shard.evictions + 1
+              | Some _ -> evict_one ()
+              | None -> ()
+            in
+            evict_one ()
           end;
-          Hashtbl.add shard.table key value;
+          Hashtbl.add shard.table key { payload = value; used_epoch = Atomic.get t.epoch };
           Queue.add key shard.order;
           shard.misses <- shard.misses + 1;
           (value, `Miss))
   end
+
+let epoch t = Atomic.get t.epoch
+
+let advance_epoch ?(max_idle = 2) t =
+  if max_idle < 1 then invalid_arg "Cache.advance_epoch: max_idle must be >= 1";
+  let now = 1 + Atomic.fetch_and_add t.epoch 1 in
+  let cutoff = now - max_idle in
+  Array.fold_left
+    (fun swept shard ->
+      Mutex.lock shard.lock;
+      let stale = ref [] in
+      Hashtbl.iter
+        (fun key c -> if c.used_epoch <= cutoff then stale := key :: !stale)
+        shard.table;
+      List.iter (Hashtbl.remove shard.table) !stale;
+      let n = List.length !stale in
+      shard.aged_out <- shard.aged_out + n;
+      (* compact the FIFO order queue so aged-out residue cannot pile up
+         across epochs (eviction also skips dead keys lazily) *)
+      if n > 0 then begin
+        let live = Queue.create () in
+        Queue.iter (fun k -> if Hashtbl.mem shard.table k then Queue.add k live) shard.order;
+        Queue.clear shard.order;
+        Queue.transfer live shard.order
+      end;
+      Mutex.unlock shard.lock;
+      swept + n)
+    0 t.shards
 
 let sum_shards t f =
   Array.fold_left
@@ -182,6 +224,7 @@ let hits t = sum_shards t (fun s -> s.hits)
 let misses t = sum_shards t (fun s -> s.misses)
 let bypasses t = Atomic.get t.bypasses
 let evictions t = sum_shards t (fun s -> s.evictions)
+let aged_out t = sum_shards t (fun s -> s.aged_out)
 let size t = sum_shards t (fun s -> Hashtbl.length s.table)
 
 let hit_rate t =

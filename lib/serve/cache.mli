@@ -60,6 +60,30 @@ val policy : t -> policy
 
 val shard_count : t -> int
 
+(** {1 Epoch-based aging}
+
+    Long-lived services ({!Trust_daemon.Server}) see an unbounded
+    stream of spec shapes: heavy hitters recur forever, the Zipf long
+    tail is seen once and never again. Capacity-FIFO eviction alone
+    would let one-shot shapes push the working set out, so the daemon
+    also {e ages} the cache: it calls {!advance_epoch} every N
+    requests, and entries untouched for [max_idle] whole epochs are
+    swept. Batch runs never advance the epoch, so batch semantics are
+    unchanged. *)
+
+val epoch : t -> int
+(** The current epoch, starting at 0. Hits and inserts stamp entries
+    with it. *)
+
+val advance_epoch : ?max_idle:int -> t -> int
+(** Start a new epoch and sweep every entry whose last use is
+    [max_idle] (default 2) or more epochs old, returning how many were
+    swept. Negative (infeasible-verdict) entries age like any other.
+    Thread-safe: sweeps each shard under its lock. *)
+
+val aged_out : t -> int
+(** Total entries removed by {!advance_epoch} sweeps. *)
+
 val synthesize : t -> Spec.t -> (entry, string) result * [ `Hit | `Miss | `Bypass ]
 (** Memoized synthesis. [`Bypass] means the spec was not {!Shape.cacheable}
     and was synthesized fresh without touching the table. [Error] is the

@@ -159,8 +159,8 @@ let run_once cfg ?(obs = Obs.null) ?parent (entry : Cache.entry) policy (session
    [retried] tally. Sessions are independent end-to-end and the drop
    schedule is keyed on (seed, session, seq), so this runs bit-for-bit
    identically from any domain in any order. *)
-let process_session cfg cache policy rec_opt retried obs (session : Session.t) =
-  Obs.with_span obs ~phase:"session"
+let process_session ?parent cfg cache policy rec_opt retried obs (session : Session.t) =
+  Obs.with_span obs ?parent ~phase:"session"
     (if Obs.enabled obs then Printf.sprintf "session.%d" session.Session.id else "session")
     (fun root ->
   record rec_opt (fun r -> Metrics.incr r.admitted);
@@ -236,6 +236,11 @@ let process_session cfg cache policy rec_opt retried obs (session : Session.t) =
   | Session.Settled -> record rec_opt (fun r -> Metrics.incr r.settled)
   | Session.Expired -> record rec_opt (fun r -> Metrics.incr r.expired)
   | _ -> ())
+
+let process_one ?metrics ?(obs = Obs.null) ?parent cfg cache (session : Session.t) =
+  let rec_opt = recorders metrics in
+  let retried = Atomic.make 0 in
+  process_session ?parent cfg cache (Cache.policy cache) rec_opt retried obs session
 
 let run ?metrics ?(obs = Obs.no_batch) cfg cache sessions =
   if cfg.concurrency < 1 then invalid_arg "Scheduler.run: concurrency must be >= 1";

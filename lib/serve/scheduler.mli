@@ -49,6 +49,23 @@ type stats = {
   retried : int;
 }
 
+val process_one :
+  ?metrics:Metrics.t ->
+  ?obs:Trust_obs.Obs.t ->
+  ?parent:Trust_obs.Obs.handle ->
+  config ->
+  Cache.t ->
+  Session.t ->
+  unit
+(** Drive a single session through the full lifecycle (admission lint,
+    cached synthesis, engine run with retry-once, audit, classification)
+    on the calling domain, recording into [metrics] when given. This is
+    the daemon's per-request entry point: no virtual-lane placement
+    happens — long-lived services measure wall-clock latency instead —
+    and the session's root span is parented under [parent] (the
+    daemon's per-request span) when tracing. The session record carries
+    the outcome ([session.status], ticks, events, exposure tallies). *)
+
 val run :
   ?metrics:Metrics.t -> ?obs:Trust_obs.Obs.batch -> config -> Cache.t -> Session.t list -> stats
 (** Drive every session through its lifecycle: synthesize through the

@@ -1,0 +1,246 @@
+open Exchange
+
+type config = {
+  principals : int;
+  broker_share : float;
+  producer_share : float;
+  agent_share : float;
+  s_consumers : float;
+  s_producers : float;
+  s_brokers : float;
+  template_share : float;
+  templates : int;
+  s_templates : float;
+  mix : Gen.mix;
+}
+
+let default_config =
+  {
+    principals = 1_000_000;
+    broker_share = 0.001;
+    producer_share = 0.05;
+    agent_share = 0.0002;
+    s_consumers = 0.9;
+    s_producers = 1.0;
+    s_brokers = 1.2;
+    template_share = 0.3;
+    templates = 512;
+    s_templates = 1.1;
+    mix = Gen.default_mix;
+  }
+
+type t = {
+  cfg : config;
+  consumers : Zipf.t;
+  producers : Zipf.t;
+  brokers : Zipf.t;
+  agents : Zipf.t;
+  catalog : Zipf.t option;
+}
+
+(* The widest cast any one transaction of the mix can demand from a
+   single role: a fan of k documents uses 2k trusted agents, a chain of
+   n brokers uses n distinct brokers and n+1 agents. *)
+let cast_bound (mix : Gen.mix) =
+  let widest =
+    max (max mix.Gen.max_chain mix.Gen.max_bundle) mix.Gen.max_fan
+  in
+  (2 * max 1 widest) + 2
+
+let create cfg =
+  if cfg.broker_share < 0. || cfg.producer_share < 0. || cfg.agent_share < 0. then
+    invalid_arg "Universe.create: negative role share";
+  if cfg.template_share < 0. || cfg.template_share > 1. then
+    invalid_arg "Universe.create: template_share must be in [0, 1]";
+  let need = cast_bound cfg.mix in
+  let part share =
+    max need (int_of_float (float_of_int cfg.principals *. share))
+  in
+  let brokers = part cfg.broker_share in
+  let producers = part cfg.producer_share in
+  let agents = part cfg.agent_share in
+  let consumers = cfg.principals - brokers - producers - agents in
+  if consumers < need then
+    invalid_arg
+      (Printf.sprintf
+         "Universe.create: %d principals leave no consumer long tail (need >= %d after \
+          role floors)"
+         cfg.principals (brokers + producers + agents + need));
+  {
+    cfg;
+    consumers = Zipf.create ~n:consumers ~s:cfg.s_consumers;
+    producers = Zipf.create ~n:producers ~s:cfg.s_producers;
+    brokers = Zipf.create ~n:brokers ~s:cfg.s_brokers;
+    agents = Zipf.create ~n:agents ~s:cfg.s_brokers;
+    catalog =
+      (if cfg.templates > 0 && cfg.template_share > 0. then
+         Some (Zipf.create ~n:cfg.templates ~s:cfg.s_templates)
+       else None);
+  }
+
+let consumers t = Zipf.size t.consumers
+let producers t = Zipf.size t.producers
+let brokers t = Zipf.size t.brokers
+let agents t = Zipf.size t.agents
+
+(* Per-transaction draw state: ranks already used, one list per role,
+   so a cast never reuses a principal within its role. Lists stay tiny
+   (a dozen entries at most), so linear membership is fine. *)
+type cast = {
+  mutable used_c : int list;
+  mutable used_p : int list;
+  mutable used_b : int list;
+  mutable used_a : int list;
+}
+
+let distinct zipf rng used =
+  let n = Zipf.size zipf in
+  let rec probe r steps =
+    if steps >= n then invalid_arg "Universe: role subpopulation exhausted"
+    else if List.mem r !used then probe ((r + 1) mod n) (steps + 1)
+    else begin
+      used := r :: !used;
+      r
+    end
+  in
+  probe (Zipf.sample zipf rng) 0
+
+let consumer_of t rng cast =
+  let u = ref cast.used_c in
+  let r = distinct t.consumers rng u in
+  cast.used_c <- !u;
+  Party.consumer (Printf.sprintf "c%d" r)
+
+let producer_of t rng cast =
+  let u = ref cast.used_p in
+  let r = distinct t.producers rng u in
+  cast.used_p <- !u;
+  Party.producer (Printf.sprintf "p%d" r)
+
+let broker_of t rng cast =
+  let u = ref cast.used_b in
+  let r = distinct t.brokers rng u in
+  cast.used_b <- !u;
+  Party.broker (Printf.sprintf "b%d" r)
+
+let agent_of t rng cast =
+  let u = ref cast.used_a in
+  let r = distinct t.agents rng u in
+  cast.used_a <- !u;
+  Party.trusted (Printf.sprintf "t%d" r)
+
+let fresh_cast () = { used_c = []; used_p = []; used_b = []; used_a = [] }
+
+(* The shapes mirror Gen's link structure, priorities and price ladders
+   exactly — only the cast is drawn instead of fixed. Deliberately
+   duplicated rather than threaded through Gen: Gen's fixed names (and
+   their pinned shape hashes) are load-bearing for the batch tests. *)
+
+let chain t rng ~brokers:n =
+  let cast = fresh_cast () in
+  let consumer = consumer_of t rng cast in
+  let producer = producer_of t rng cast in
+  let broker = Array.init n (fun _ -> broker_of t rng cast) in
+  let agent = Array.init (n + 1) (fun _ -> agent_of t rng cast) in
+  let seller_of_link i = if i = n then producer else broker.(i) in
+  let buyer_of_link i = if i = 0 then consumer else broker.(i - 1) in
+  let link i =
+    Spec.sale
+      ~id:(Printf.sprintf "link%d" i)
+      ~buyer:(buyer_of_link i) ~seller:(seller_of_link i) ~via:agent.(i)
+      ~price:(Asset.dollars (10 + n - i))
+      ~good:"d"
+  in
+  let deals = List.init (n + 1) (fun k -> link (n - k)) in
+  let priorities =
+    List.init n (fun k ->
+        (broker.(k), { Spec.deal = Printf.sprintf "link%d" k; side = Spec.Right }))
+  in
+  Spec.make_exn ~priorities deals
+
+let fan t rng ~docs:k =
+  let cast = fresh_cast () in
+  let consumer = consumer_of t rng cast in
+  let deals =
+    List.concat
+      (List.init k (fun idx ->
+           let i = idx + 1 in
+           let doc = Printf.sprintf "d%d" i in
+           let price = Asset.dollars (10 * i) in
+           let broker = broker_of t rng cast in
+           let source = producer_of t rng cast in
+           let inner_via = agent_of t rng cast in
+           let outer_via = agent_of t rng cast in
+           [
+             Spec.sale
+               ~id:(Printf.sprintf "b%ds%d" i i)
+               ~buyer:broker ~seller:source ~via:inner_via
+               ~price:(price * 8 / 10) ~good:doc;
+             Spec.sale
+               ~id:(Printf.sprintf "cb%d" i)
+               ~buyer:consumer ~seller:broker ~via:outer_via ~price ~good:doc;
+           ]))
+  in
+  let priorities =
+    List.init k (fun idx ->
+        let i = idx + 1 in
+        let seller =
+          match List.nth deals ((2 * idx) + 1) with d -> d.Spec.right
+        in
+        (seller, { Spec.deal = Printf.sprintf "cb%d" i; side = Spec.Right }))
+  in
+  Spec.make_exn ~priorities deals
+
+let bundle t rng ~docs:k =
+  let cast = fresh_cast () in
+  let consumer = consumer_of t rng cast in
+  let deals =
+    List.init k (fun idx ->
+        let i = idx + 1 in
+        Spec.sale
+          ~id:(Printf.sprintf "cp%d" i)
+          ~buyer:consumer
+          ~seller:(producer_of t rng cast)
+          ~via:(agent_of t rng cast)
+          ~price:(Asset.dollars (10 * i))
+          ~good:(Printf.sprintf "d%d" i))
+  in
+  Spec.make_exn deals
+
+let sprinkle_trust rng density spec =
+  List.fold_left
+    (fun spec d ->
+      if Prng.float rng < density then
+        Spec.with_persona ~trusted:d.Spec.via ~principal:d.Spec.left spec
+      else spec)
+    spec spec.Spec.deals
+
+let transaction t rng =
+  let mix = t.cfg.mix in
+  let total =
+    mix.Gen.sale_weight + mix.Gen.chain_weight + mix.Gen.fan_weight
+    + mix.Gen.bundle_weight
+  in
+  if total <= 0 then invalid_arg "Universe.transaction: all mix weights zero";
+  let roll = Prng.int rng total in
+  let base =
+    if roll < mix.Gen.sale_weight then chain t rng ~brokers:0
+    else if roll < mix.Gen.sale_weight + mix.Gen.chain_weight then
+      chain t rng ~brokers:(1 + Prng.int rng (max 1 mix.Gen.max_chain))
+    else if roll < mix.Gen.sale_weight + mix.Gen.chain_weight + mix.Gen.fan_weight
+    then fan t rng ~docs:(1 + Prng.int rng (max 1 mix.Gen.max_fan))
+    else bundle t rng ~docs:(1 + Prng.int rng (max 1 mix.Gen.max_bundle))
+  in
+  sprinkle_trust rng mix.Gen.trust_density base
+
+(* Catalog templates: template i always re-derives the same cast, so
+   the spec — and its cached protocol — repeats byte-identically. *)
+let template_seed rank =
+  Int64.add 0x9E3779B97F4A7C15L (Int64.mul (Int64.of_int (rank + 1)) 0x2545F4914F6CDD1DL)
+
+let sample t rng =
+  match t.catalog with
+  | Some catalog when Prng.float rng < t.cfg.template_share ->
+    let rank = Zipf.sample catalog rng in
+    transaction t (Prng.create (template_seed rank))
+  | Some _ | None -> transaction t rng

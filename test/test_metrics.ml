@@ -195,6 +195,24 @@ let test_batch_conformance () =
   check "gauge family present" true (contains dump "# TYPE serve_cache_hit_rate gauge");
   check "volatile pool gauges quarantined" false (contains dump "serve_pool_queue_peak")
 
+(* the daemon registry: the epoch-aging families must be registered and
+   conformant even on an idle server (stop set before the first round) *)
+let test_daemon_registry_conforms () =
+  let module Server = Trust_daemon.Server in
+  let m = Metrics.create () in
+  let stop = Atomic.make true in
+  let path = Printf.sprintf "/tmp/trustseq-metrics-%d.sock" (Unix.getpid ()) in
+  let stats = Server.run ~stop ~metrics:m { Server.default with Server.unix_path = Some path } in
+  check "drains immediately" true stats.Server.drained;
+  let dump = Metrics.dump m in
+  conformance dump;
+  check "request counter family" true (contains dump "# TYPE daemon_requests_total counter");
+  check "busy counter family" true (contains dump "# TYPE daemon_busy_total counter");
+  check "aged-out counter family" true
+    (contains dump "# TYPE serve_cache_aged_out_total counter");
+  check "epoch gauge family" true (contains dump "# TYPE serve_cache_epoch gauge");
+  check "cache size gauge family" true (contains dump "# TYPE serve_cache_size gauge")
+
 let () =
   Alcotest.run "metrics"
     [
@@ -203,5 +221,6 @@ let () =
           Alcotest.test_case "synthetic registry conforms" `Quick test_synthetic_conformance;
           Alcotest.test_case "histogram buckets cumulative" `Quick test_synthetic_histogram_values;
           Alcotest.test_case "batch registry conforms" `Quick test_batch_conformance;
+          Alcotest.test_case "daemon registry conforms" `Quick test_daemon_registry_conforms;
         ] );
     ]

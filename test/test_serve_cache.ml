@@ -131,6 +131,66 @@ let test_eviction () =
   let _, outcome = Cache.synthesize cache s1 in
   check_string "evicted entry misses" "miss" (outcome_label outcome)
 
+let test_aging_sweeps_idle () =
+  let cache = Cache.create ~shards:1 Cache.default_policy in
+  let s1 = Gen.chain ~brokers:1 and s2 = Gen.chain ~brokers:2 in
+  ignore (Cache.synthesize cache s1);
+  ignore (Cache.synthesize cache s2);
+  check_int "epoch starts at zero" 0 (Cache.epoch cache);
+  (* both entries last used in epoch 0; one tick with max_idle 1 sweeps them *)
+  let swept = Cache.advance_epoch ~max_idle:1 cache in
+  check_int "both swept" 2 swept;
+  check_int "aged_out counts the sweep" 2 (Cache.aged_out cache);
+  check_int "nothing resident" 0 (Cache.size cache);
+  check_int "epoch advanced" 1 (Cache.epoch cache);
+  let _, outcome = Cache.synthesize cache s1 in
+  check_string "swept entry misses" "miss" (outcome_label outcome)
+
+let test_aging_touch_survives () =
+  let cache = Cache.create ~shards:1 Cache.default_policy in
+  let hot = Gen.chain ~brokers:1 and cold = Gen.chain ~brokers:2 in
+  ignore (Cache.synthesize cache hot);
+  ignore (Cache.synthesize cache cold);
+  (* first tick with the default idle window: nothing is old enough *)
+  check_int "young entries survive" 0 (Cache.advance_epoch ~max_idle:2 cache);
+  check_int "both resident" 2 (Cache.size cache);
+  (* touch only the hot entry, then tick again: the cold one is now
+     two epochs idle and goes; the hot one was refreshed *)
+  (match Cache.synthesize cache hot with
+  | _, `Hit -> ()
+  | _ -> Alcotest.fail "expected the hot entry to hit");
+  check_int "only the cold entry swept" 1 (Cache.advance_epoch ~max_idle:2 cache);
+  check_int "hot entry resident" 1 (Cache.size cache);
+  (match Cache.synthesize cache hot with
+  | _, `Hit -> ()
+  | _ -> Alcotest.fail "the survivor must still hit");
+  let _, outcome = Cache.synthesize cache cold in
+  check_string "the swept entry misses" "miss" (outcome_label outcome)
+
+let test_aging_and_eviction_compose () =
+  (* a sweep compacts the FIFO order queue; refills after it must keep
+     the oldest-live-insertion eviction order, not trip over residue *)
+  let cache = Cache.create ~capacity:2 ~shards:1 Cache.default_policy in
+  let s1 = Gen.chain ~brokers:1 and s2 = Gen.chain ~brokers:2 and s3 = Gen.chain ~brokers:3 in
+  ignore (Cache.synthesize cache s1);
+  ignore (Cache.advance_epoch ~max_idle:1 cache);
+  check_int "aged down to empty" 0 (Cache.size cache);
+  ignore (Cache.synthesize cache s2);
+  ignore (Cache.synthesize cache s3);
+  check_int "refilled to capacity" 2 (Cache.size cache);
+  ignore (Cache.synthesize cache s1);
+  check_int "capacity still respected" 2 (Cache.size cache);
+  check_int "one true eviction" 1 (Cache.evictions cache);
+  (* s2 was the oldest live insertion; it is the one evicted *)
+  let _, outcome = Cache.synthesize cache s3 in
+  check_string "newer entry survived the eviction" "hit" (outcome_label outcome)
+
+let test_aging_rejects_bad_window () =
+  let cache = Cache.create Cache.default_policy in
+  match Cache.advance_epoch ~max_idle:0 cache with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_idle 0 must be rejected"
+
 let test_sharded_counts_aggregate () =
   (* Distinct shapes land on (mostly) distinct shards; the aggregate
      hit/miss/size counters must still read like one cache. *)
@@ -205,6 +265,10 @@ let () =
           Alcotest.test_case "rescued fan carries plan" `Quick test_rescued_fan_carries_plan;
           Alcotest.test_case "negative caching" `Quick test_negative_caching;
           Alcotest.test_case "eviction" `Quick test_eviction;
+          Alcotest.test_case "aging sweeps idle entries" `Quick test_aging_sweeps_idle;
+          Alcotest.test_case "touched entries survive aging" `Quick test_aging_touch_survives;
+          Alcotest.test_case "aging composes with eviction" `Quick test_aging_and_eviction_compose;
+          Alcotest.test_case "aging rejects a zero window" `Quick test_aging_rejects_bad_window;
           Alcotest.test_case "sharded counters aggregate" `Quick test_sharded_counts_aggregate;
           Alcotest.test_case "concurrent lookups, sequential tallies" `Quick
             test_sharded_concurrent_same_tallies;
