@@ -21,6 +21,9 @@
                               under the million-principal Zipf load
                               generator, JSON on stdout
                               (the BENCH_daemon.json baseline)
+     main.exe --analyze-json  static exposure analysis cost, cold abstract
+                              interpretation vs a warm protocol-cache hit,
+                              JSON on stdout (the BENCH_analyze.json baseline)
 *)
 
 open Exchange
@@ -809,6 +812,82 @@ let daemon_json () =
       r.Loadgen.busy r.Loadgen.dropped r.Loadgen.cache_hits rss_start rss_end
       rss_peak (Server.stats_json stats)
 
+(* Static-analysis cost: what the abstract interpreter
+   (Trust_analyze.Static_exposure) costs when run cold on a spec shape
+   versus reading the proven bound back off a warm protocol cache.
+   Serve.Cache stores the analysis alongside each cached protocol, so
+   a hit must be a small fraction of the cold cost — the committed
+   baseline in BENCH_analyze.json pins the ratio. *)
+
+let analyze_json () =
+  let module Cache = Trust_serve.Cache in
+  let module SE = Trust_analyze.Static_exposure in
+  let shapes =
+    [
+      ("example1", Workload.Scenarios.example1);
+      ("fig7", Workload.Scenarios.fig7);
+      ("chain3", Workload.Gen.chain ~brokers:3);
+      ("chain8", Workload.Gen.chain ~brokers:8);
+      ( "fan5",
+        Workload.Gen.fan ~prices:(List.init 5 (fun i -> Asset.dollars (i + 1))) );
+      ("bundle3", Workload.Gen.bundle ~docs:3);
+    ]
+  in
+  let time_ns iters f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      ignore (Sys.opaque_identity (f ()))
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int iters
+  in
+  let cold_iters = if !quick then 50 else 200 in
+  let hit_iters = cold_iters * 100 in
+  let measure (name, spec) =
+    let cache = Cache.create Cache.default_policy in
+    let entry =
+      match Cache.synthesize cache spec with
+      | Ok entry, _ -> entry
+      | Error e, _ ->
+        Printf.eprintf "analyze bench: %s failed to synthesize: %s\n" name e;
+        exit 2
+    in
+    (* the cold path is what a cache miss pays for the proven bound:
+       full synthesis (feasibility, rescue, sequencing, scripts) plus
+       the abstract interpretation of the split spec *)
+    let fresh () =
+      match Cache.fresh Cache.default_policy spec with
+      | Ok entry -> entry
+      | Error e ->
+        Printf.eprintf "analyze bench: %s failed to synthesize: %s\n" name e;
+        exit 2
+    in
+    (* warm both paths so neither prices a cold allocator *)
+    ignore (time_ns 10 fresh);
+    let cold = time_ns cold_iters fresh in
+    let hit =
+      time_ns hit_iters (fun () ->
+          match Cache.synthesize cache spec with
+          | Ok entry, `Hit -> entry.Cache.exposure
+          | Ok _, (`Miss | `Bypass) | Error _, _ ->
+            prerr_endline "analyze bench: expected a cache hit";
+            exit 2)
+    in
+    let exposure = entry.Cache.exposure in
+    let ratio = if cold > 0. then hit /. cold else 0. in
+    ( Printf.sprintf
+        "{\"shape\":\"%s\",\"steps\":%d,\"verdict\":\"%s\",\"cold_ns\":%.0f,\"hit_ns\":%.0f,\"hit_over_cold\":%.4f}"
+        name exposure.SE.steps
+        (SE.verdict_label exposure.SE.verdict)
+        cold hit ratio,
+      ratio )
+  in
+  let rows = List.map measure shapes in
+  let max_ratio = List.fold_left (fun acc (_, r) -> Float.max acc r) 0. rows in
+  Printf.printf
+    "{\"bench\":\"analyze_static_exposure\",\"version\":\"%s\",\"cold_iters\":%d,\"hit_iters\":%d,\"max_hit_over_cold\":%.4f,\"shapes\":[%s]}\n"
+    Trustseq_version.Version.v cold_iters hit_iters max_ratio
+    (String.concat "," (List.map fst rows))
+
 (* driver *)
 
 let experiments =
@@ -850,6 +929,10 @@ let () =
   end;
   if List.mem "--daemon-json" args then begin
     daemon_json ();
+    exit 0
+  end;
+  if List.mem "--analyze-json" args then begin
+    analyze_json ();
     exit 0
   end;
   let table =

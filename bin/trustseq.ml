@@ -132,11 +132,12 @@ let check_cmd =
 let lint_cmd =
   let module Lint = Trust_analyze.Lint in
   let module Diagnostic = Trust_analyze.Diagnostic in
-  let run files format werror quick =
+  let run files format werror quick static =
     let deep = not quick in
+    let static = static && not quick in
     let lint_one = function
-      | "-" -> Lint.lint_source ~file:"<stdin>" ~deep (In_channel.input_all stdin)
-      | path -> Lint.lint_file ~deep path
+      | "-" -> Lint.lint_source ~file:"<stdin>" ~static ~deep (In_channel.input_all stdin)
+      | path -> Lint.lint_file ~static ~deep path
     in
     let diagnostics = Diagnostic.sort (List.concat_map lint_one files) in
     let rendered = Lint.render format diagnostics in
@@ -166,8 +167,19 @@ let lint_cmd =
       value & flag
       & info [ "quick" ]
           ~doc:
-            "Structural rules only — skip the feasibility-based rules (TL006/TL007/TL009/TL012). \
-             This is what the serve admission gate runs.")
+            "Structural rules only — skip the feasibility-based rules (TL006/TL007/TL009/TL012) \
+             and the static exposure pass (TL015-TL017). This is what the serve admission gate \
+             runs.")
+  in
+  let static =
+    Arg.(
+      value
+      & opt bool true
+      & info [ "static-exposure" ] ~docv:"BOOL"
+          ~doc:
+            "Run the static exposure pass (TL015 deadline races, TL016 unprovable single-transfer bound, \
+             TL017 counterexample schedule) over the synthesized sequence. On by default; \
+             $(b,--quick) skips it regardless.")
   in
   let man =
     [
@@ -178,15 +190,102 @@ let lint_cmd =
         "2 — unreadable input or lex/parse failure (TL010); malformed command lines get \
          cmdliner's own 124.";
       `S "DIAGNOSTICS";
-      `P "Stable codes TL001-TL012; see docs/LINT.md for the catalogue with examples.";
+      `P "Stable codes TL001-TL017; see docs/LINT.md for the catalogue with examples.";
     ]
   in
   Cmd.v
     (Cmd.info "lint" ~man
        ~doc:
          "Lint specifications: structural smells, contradictory ordering constraints, \
-          infeasibility with a minimal stuck-kernel counterexample, and indemnity-rescue hints.")
-    Term.(const run $ files $ format $ werror $ quick)
+          infeasibility with a minimal stuck-kernel counterexample, cross-deal conflicts, \
+          static exposure bounds, and indemnity-rescue hints.")
+    Term.(const run $ files $ format $ werror $ quick $ static)
+
+(* analyze *)
+
+let analyze_cmd =
+  let module Absint = Trust_analyze.Absint in
+  let module Static_exposure = Trust_analyze.Static_exposure in
+  let module Conflict = Trust_analyze.Conflict in
+  let module Diagnostic = Trust_analyze.Diagnostic in
+  let run file =
+    let spec = or_die (load file) in
+    let no_loc _ = None in
+    let no_loc2 _ _ = None in
+    let conflicts = Conflict.structural ~deal_loc:no_loc ~split_loc:no_loc2 spec in
+    let analysis = Feasibility.analyze spec in
+    let conflicts =
+      conflicts
+      @
+      match analysis.Feasibility.sequence with
+      | Some seq -> Conflict.deadline_races ~deal_loc:no_loc seq
+      | None -> []
+    in
+    let result = Static_exposure.of_analysis analysis in
+    Report.Table.section (Printf.sprintf "static exposure: %s" file);
+    (match result.Static_exposure.verdict with
+    | Static_exposure.Vacuous ->
+      print_endline "vacuous — the spec is infeasible as written; nothing runs, nothing is at risk";
+      print_endline "(run `trustseq lint` for the stuck kernel and rescue hints)"
+    | _ ->
+      Report.Table.print
+        ~header:[ "principal"; "bound"; "honest"; "worst"; "defector"; "verdict" ]
+        (List.map
+           (fun (i : Absint.interval) ->
+             [
+               Party.name i.Absint.i_party;
+               Report.Table.money i.Absint.i_bound;
+               Report.Table.money i.Absint.i_lo;
+               Report.Table.money i.Absint.i_hi;
+               (match i.Absint.i_witness.Absint.w_defector with
+               | Some q -> Party.name q
+               | None -> "-");
+               (if Absint.proved i then "proved" else "REFUTED");
+             ])
+           result.Static_exposure.intervals);
+      Printf.printf "\n%d steps analyzed; verdict: %s\n"
+        result.Static_exposure.steps
+        (Static_exposure.verdict_label result.Static_exposure.verdict);
+      List.iter
+        (fun (i : Absint.interval) ->
+          Printf.printf "\ncounterexample for %s (%s at risk, bound %s):\n"
+            (Party.name i.Absint.i_party)
+            (Report.Table.money i.Absint.i_witness.Absint.w_at_risk)
+            (Report.Table.money i.Absint.i_bound);
+          List.iter print_endline
+            (Static_exposure.schedule_notes i.Absint.i_witness))
+        (Static_exposure.refuted result));
+    if conflicts <> [] then begin
+      print_newline ();
+      Report.Table.section "cross-deal conflicts";
+      print_endline (Diagnostic.render_human (Diagnostic.sort conflicts))
+    end;
+    if
+      result.Static_exposure.verdict = Static_exposure.Refuted
+      || conflicts <> []
+    then 1
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P "0 — the single-transfer bound is proved for every principal and no cross-deal conflicts.";
+           `P "1 — the bound was refuted (counterexample schedule printed) or conflicts were found.";
+           `P "2 — the file failed to load/parse/elaborate.";
+           `S "DESCRIPTION";
+           `P
+             "Abstract interpretation over the synthesized execution sequence: per principal, a \
+              worst-case exposure interval across every legal lockstep interleaving and every \
+              single-party defection pattern, checked against the paper's single-transfer bound. \
+              Also reports cross-deal conflicts: double spends (TL013), over-pledged indemnities \
+              (TL014) and deadline races (TL015).";
+         ]
+       ~doc:
+         "Statically prove (or refute, with a counterexample schedule) the single-transfer \
+          exposure bound, and detect cross-deal conflicts.")
+    Term.(const run $ file_arg)
 
 (* sequence *)
 
@@ -1404,6 +1503,6 @@ let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
     (Cmd.info "trustseq" ~version ~doc)
-    [ check_cmd; lint_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; serve_cmd; submit_cmd; loadgen_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd ]
+    [ check_cmd; lint_cmd; analyze_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; serve_cmd; submit_cmd; loadgen_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

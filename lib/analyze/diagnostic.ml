@@ -15,13 +15,19 @@ type code =
   | Parse_error
   | Elaboration_error
   | Unsafe_sequence
+  | Double_spend
+  | Over_pledged_indemnity
+  | Deadline_race
+  | Unprovable_bound
+  | Counterexample_schedule
 
 let all_codes =
   [
     Unused_party; Dead_asset; Unbacked_split; Redundant_priority;
     Contradictory_priorities; Unreachable_acceptance; Vacuous_intermediary;
     Zero_value_leg; Rescuable_infeasibility; Parse_error; Elaboration_error;
-    Unsafe_sequence;
+    Unsafe_sequence; Double_spend; Over_pledged_indemnity; Deadline_race;
+    Unprovable_bound; Counterexample_schedule;
   ]
 
 let code_number = function
@@ -37,6 +43,11 @@ let code_number = function
   | Parse_error -> 10
   | Elaboration_error -> 11
   | Unsafe_sequence -> 12
+  | Double_spend -> 13
+  | Over_pledged_indemnity -> 14
+  | Deadline_race -> 15
+  | Unprovable_bound -> 16
+  | Counterexample_schedule -> 17
 
 let code_id code = Printf.sprintf "TL%03d" (code_number code)
 
@@ -53,15 +64,22 @@ let code_name = function
   | Parse_error -> "parse-error"
   | Elaboration_error -> "elaboration-error"
   | Unsafe_sequence -> "unsafe-sequence"
+  | Double_spend -> "double-spend"
+  | Over_pledged_indemnity -> "over-pledged-indemnity"
+  | Deadline_race -> "deadline-race"
+  | Unprovable_bound -> "unprovable-bound"
+  | Counterexample_schedule -> "counterexample-schedule"
 
 let default_severity = function
   | Unused_party | Dead_asset | Unbacked_split | Redundant_priority
-  | Zero_value_leg ->
+  | Zero_value_leg | Over_pledged_indemnity | Deadline_race
+  | Unprovable_bound ->
     Warning
   | Contradictory_priorities | Unreachable_acceptance | Parse_error
-  | Elaboration_error | Unsafe_sequence ->
+  | Elaboration_error | Unsafe_sequence | Double_spend ->
     Error
-  | Vacuous_intermediary | Rescuable_infeasibility -> Info
+  | Vacuous_intermediary | Rescuable_infeasibility | Counterexample_schedule ->
+    Info
 
 type t = {
   code : code;
@@ -180,12 +198,21 @@ let sarif_level = function
   | Warning -> "warning"
   | Info -> "note"
 
+(* Rule help links into the committed catalog: docs/LINT.md carries one
+   anchor per code (GitHub renders "### TL013 — double-spend" as
+   #tl013--double-spend; the bare #tl0xx form below relies on the
+   explicit anchors the doc declares). *)
+let help_uri code =
+  Printf.sprintf "https://example.invalid/trustseq/docs/LINT.md#%s"
+    (String.lowercase_ascii (code_id code))
+
 let sarif_rule code =
   Printf.sprintf
-    "{\"id\":%s,\"name\":%s,\"shortDescription\":{\"text\":%s},\"defaultConfiguration\":{\"level\":%s}}"
+    "{\"id\":%s,\"name\":%s,\"shortDescription\":{\"text\":%s},\"helpUri\":%s,\"defaultConfiguration\":{\"level\":%s}}"
     (json_string (code_id code))
     (json_string (code_name code))
     (json_string (code_name code))
+    (json_string (help_uri code))
     (json_string (sarif_level (default_severity code)))
 
 let sarif_result d =

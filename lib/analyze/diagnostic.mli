@@ -29,6 +29,21 @@ type code =
   | Unsafe_sequence
       (** TL012: the safety verifier found an exposure in a synthesized
           execution sequence (should never fire; self-check) *)
+  | Double_spend
+      (** TL013: the same provenance asset is promised into two or more
+          concurrent deals while only one copy exists *)
+  | Over_pledged_indemnity
+      (** TL014: one principal's splits pledge more combined indemnity
+          than its counterparties' at-risk value can ever reach *)
+  | Deadline_race
+      (** TL015: a deal's [within n] window is shorter than the
+          synthesized escrow span — release races the expiry *)
+  | Unprovable_bound
+      (** TL016: the abstract interpreter cannot prove the §5
+          single-transfer bound for some principal *)
+  | Counterexample_schedule
+      (** TL017: the maximizing interleaving refuting a bound, attached
+          as an informational note alongside TL016 *)
 
 val code_id : code -> string
 (** The stable identifier, e.g. [Unused_party] → ["TL001"]. *)
@@ -38,6 +53,10 @@ val code_name : code -> string
 
 val default_severity : code -> severity
 val all_codes : code list
+
+val help_uri : code -> string
+(** Stable documentation link for a rule — the docs/LINT.md anchor the
+    SARIF [rules\[\]] metadata points editors at. *)
 
 type t = {
   code : code;

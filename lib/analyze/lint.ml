@@ -5,9 +5,12 @@ module Obs = Trust_obs.Obs
 
 type format = Human | Json | Sarif
 
-let check_spec ?(obs = Obs.null) ?parent ?file ?decls ?(deep = true) spec =
+let check_spec ?(obs = Obs.null) ?parent ?file ?decls ?static ?(deep = true)
+    spec =
   Obs.with_span obs ?parent ~phase:"lint" "lint" (fun h ->
-      let diagnostics = Diagnostic.sort (Rules.check ?file ?decls ~deep spec) in
+      let diagnostics =
+        Diagnostic.sort (Rules.check ?file ?decls ?static ~deep spec)
+      in
       if Obs.enabled obs then begin
         let by severity =
           List.length (List.filter (fun d -> d.Diagnostic.severity = severity) diagnostics)
@@ -26,7 +29,7 @@ let elaboration_diags ?file errors =
         e.Elaborate.message)
     (Elaborate.sort_errors errors)
 
-let lint_source ?file ?deep src =
+let lint_source ?file ?static ?deep src =
   match Parser.parse src with
   | Error e ->
     [
@@ -41,11 +44,11 @@ let lint_source ?file ?deep src =
     else (
       match Elaborate.program decls with
       | Error errors -> elaboration_diags ?file errors
-      | Ok spec -> check_spec ?file ~decls ?deep spec)
+      | Ok spec -> check_spec ?file ~decls ?static ?deep spec)
 
-let lint_file ?deep path =
+let lint_file ?static ?deep path =
   match In_channel.with_open_text path In_channel.input_all with
-  | src -> lint_source ~file:path ?deep src
+  | src -> lint_source ~file:path ?static ?deep src
   | exception Sys_error message ->
     [ Diagnostic.make ~file:path Diagnostic.Parse_error message ]
 

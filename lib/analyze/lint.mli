@@ -14,21 +14,25 @@ val check_spec :
   ?parent:Trust_obs.Obs.handle ->
   ?file:string ->
   ?decls:Trust_lang.Ast.program ->
+  ?static:bool ->
   ?deep:bool ->
   Spec.t ->
   Diagnostic.t list
 (** Lint an already-elaborated spec. [deep] (default [true]) also runs
     the feasibility-based rules; the serve admission gate uses
-    [deep:false] to stay cheap. Sorted deterministically. [obs]/[parent]
-    attach a ["lint"] span (diagnostic tallies) to a trace; the default
-    null sink records nothing. *)
+    [deep:false] to stay cheap. [static] (default [true]) additionally
+    runs the static exposure pass (TL015–TL017) on the synthesized
+    sequence; it only matters when [deep] holds. Sorted
+    deterministically. [obs]/[parent] attach a ["lint"] span (diagnostic
+    tallies) to a trace; the default null sink records nothing. *)
 
-val lint_source : ?file:string -> ?deep:bool -> string -> Diagnostic.t list
+val lint_source :
+  ?file:string -> ?static:bool -> ?deep:bool -> string -> Diagnostic.t list
 (** Parse, elaborate and lint DSL source. Lex/parse failures yield a
     single TL010; elaboration failures yield one TL011 per error (in
     location order); web programs are checked for elaboration only. *)
 
-val lint_file : ?deep:bool -> string -> Diagnostic.t list
+val lint_file : ?static:bool -> ?deep:bool -> string -> Diagnostic.t list
 (** [lint_source] on the file's contents; an unreadable file yields
     TL010. *)
 

@@ -249,8 +249,8 @@ let zero_value_leg ~deal_loc spec =
 (* ------------------------------------------------------------------ *)
 (* Deep rules: the full feasibility pipeline.                          *)
 
-let feasibility_diags spec =
-  let analysis = Feasibility.analyze spec in
+let feasibility_diags analysis =
+  let spec = analysis.Feasibility.spec in
   match analysis.Feasibility.outcome.Reduce.verdict with
   | Reduce.Feasible ->
     let unsafe =
@@ -330,7 +330,7 @@ let vacuous_intermediary ~persona_loc spec =
 
 (* ------------------------------------------------------------------ *)
 
-let check ?file ?decls ~deep spec =
+let check ?file ?decls ?(static = true) ~deep spec =
   let decls = Option.value decls ~default:[] in
   let deal_loc id = deal_loc decls id in
   let party_loc name = party_loc decls name in
@@ -344,6 +344,7 @@ let check ?file ?decls ~deep spec =
     @ redundant_priority ~priority_loc spec
     @ contradictory_priorities ~party_loc ~priority_loc spec
     @ zero_value_leg ~deal_loc spec
+    @ Conflict.structural ~deal_loc ~split_loc spec
   in
   let contradiction =
     List.exists
@@ -357,12 +358,32 @@ let check ?file ?decls ~deep spec =
          would only restate it. *)
       structural
     else
-      let verdict, feas = feasibility_diags spec in
+      let analysis = Feasibility.analyze spec in
+      let verdict, feas = feasibility_diags analysis in
       let vacuous =
         match verdict with
         | `Feasible -> vacuous_intermediary ~persona_loc spec
         | `Stuck -> []
       in
-      structural @ feas @ vacuous
+      (* The static exposure pass reuses the synthesized sequence: TL015
+         needs the step spans, TL016/TL017 the abstract interpretation.
+         A double spend (TL013) already invalidates the interpreter's
+         one-copy-per-supply assumption, so the bound check is
+         suppressed the way TL005 suppresses TL006/TL009. *)
+      let double_spend =
+        List.exists
+          (fun d -> d.Diagnostic.code = Diagnostic.Double_spend)
+          structural
+      in
+      let static_diags =
+        match (static, analysis.Feasibility.sequence) with
+        | true, Some seq ->
+          Conflict.deadline_races ~deal_loc seq
+          @
+          if double_spend then []
+          else Static_exposure.diagnostics (Static_exposure.of_sequence seq)
+        | _ -> []
+      in
+      structural @ feas @ vacuous @ static_diags
   in
   List.map (fun d -> { d with Diagnostic.file }) diags

@@ -5,19 +5,28 @@
     TL002 dead-asset, TL003 unbacked-split, TL004 redundant-priority,
     TL005 contradictory-priorities, TL008 zero-value-leg.
 
+    Structural conflict rules (always run, via {!Conflict}): TL013
+    double-spend, TL014 over-pledged-indemnity.
+
     Deep rules ([deep:true]) additionally run the full feasibility
     pipeline: TL006 unreachable-acceptance / TL009
     rescuable-infeasibility (with the minimal stuck kernel as notes),
     TL007 vacuous-intermediary, TL012 unsafe-sequence (the safety
     verifier re-checking the synthesized sequence). When TL005 fires,
     TL006/TL009 are suppressed — the contradiction already explains the
-    stuck graph. *)
+    stuck graph.
+
+    Static exposure rules ([deep:true] and [static:true], the default)
+    reuse the synthesized sequence: TL015 deadline-race, TL016
+    unprovable-bound and TL017 counterexample-schedule from
+    {!Static_exposure}. *)
 
 open Exchange
 
 val check :
   ?file:string ->
   ?decls:Trust_lang.Ast.program ->
+  ?static:bool ->
   deep:bool ->
   Spec.t ->
   Diagnostic.t list

@@ -12,6 +12,7 @@ type entry = {
   split_spec : Spec.t;
   plan : Indemnity.plan option;
   protocol : Protocol.t;
+  exposure : Trust_analyze.Static_exposure.t;
 }
 
 exception Divergence of string
@@ -97,7 +98,12 @@ let fresh policy spec =
       | None -> None
   in
   match Harness.assemble ~mode:policy.mode ~shared:policy.shared ?plan spec with
-  | Ok cast -> Ok { split_spec = cast.Harness.spec; plan; protocol = cast.Harness.protocol }
+  | Ok cast ->
+    (* The proven bound rides the cache entry: a hit skips re-analysis
+       entirely (the static pass is the expensive half of cold
+       synthesis — see BENCH_analyze.json). *)
+    let exposure = Trust_analyze.Static_exposure.analyze cast.Harness.spec in
+    Ok { split_spec = cast.Harness.spec; plan; protocol = cast.Harness.protocol; exposure }
   | Error e -> Error e
 
 let equal_offer (a : Indemnity.offer) (b : Indemnity.offer) =

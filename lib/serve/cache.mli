@@ -31,6 +31,10 @@ type entry = {
   split_spec : Spec.t;  (** the spec after the plan's indemnity splits *)
   plan : Trust_core.Indemnity.plan option;  (** the rescue plan, when one was needed *)
   protocol : Trust_core.Protocol.t;
+  exposure : Trust_analyze.Static_exposure.t;
+      (** the statically proven (or refuted) §5 bound for the split
+          spec, computed once at synthesis — a cache hit reuses it
+          without re-running the abstract interpretation *)
 }
 
 exception Divergence of string
@@ -94,7 +98,8 @@ val fresh : policy -> Spec.t -> (entry, string) result
 
 val entry_equal : entry -> entry -> bool
 (** Structural: canonical split-spec encodings, plan offers, and
-    protocol scripts all equal. *)
+    protocol scripts all equal. The derived [exposure] field is not
+    compared — it is a pure function of [split_spec]. *)
 
 val hits : t -> int
 val misses : t -> int

@@ -44,6 +44,14 @@ let fixture_expectations =
     ("tl009_rescuable.exg", [ "TL009" ], 0);
     ("tl010_parse_error.exg", [ "TL010" ], 2);
     ("tl011_undeclared_party.exg", [ "TL011"; "TL011"; "TL011" ], 1);
+    ("tl013_double_spend.exg", [ "TL013" ], 1);
+    (* the over-pledge's two enabling splits are each unbacked (TL003);
+       sorted by source location the over-pledge lands between them *)
+    ("tl014_over_pledged_indemnity.exg", [ "TL003"; "TL014"; "TL003" ], 0);
+    ("tl015_deadline_race.exg", [ "TL015" ], 0);
+    (* the enabling split is unbacked; TL016/TL017 have no location and
+       sort after it *)
+    ("tl016_unprovable_bound.exg", [ "TL003"; "TL016"; "TL017" ], 0);
   ]
 
 let test_fixtures () =
@@ -77,7 +85,9 @@ let test_fixture_locations () =
   line "tl005_contradictory_priorities.exg" 12;
   line "tl007_vacuous_intermediary.exg" 9;
   line "tl008_zero_leg.exg" 7;
-  line "tl010_parse_error.exg" 2
+  line "tl010_parse_error.exg" 2;
+  line "tl013_double_spend.exg" 12;
+  line "tl015_deadline_race.exg" 12
 
 (* --- scenarios: table-driven verdicts ------------------------------- *)
 
@@ -114,8 +124,9 @@ let test_quick_mode_subset () =
       List.iter
         (fun c ->
           if not (List.mem c quick) then
-            check ("dropped code " ^ c ^ " is a deep rule") true
-              (List.mem c [ "TL006"; "TL007"; "TL009"; "TL012" ]))
+            check ("dropped code " ^ c ^ " is a deep or static rule") true
+              (List.mem c
+                 [ "TL006"; "TL007"; "TL009"; "TL012"; "TL015"; "TL016"; "TL017" ]))
         deep)
     Scenarios.all
 
@@ -155,13 +166,26 @@ let test_render_deterministic () =
     in
     find 0);
   let sarif = Lint.render Lint.Sarif diagnostics in
-  check "sarif declares the version" true
-    (let re = "\"2.1.0\"" in
-     let rec find i =
-       i + String.length re <= String.length sarif
-       && (String.sub sarif i (String.length re) = re || find (i + 1))
-     in
-     find 0)
+  let contains needle =
+    let re = needle in
+    let rec find i =
+      i + String.length re <= String.length sarif
+      && (String.sub sarif i (String.length re) = re || find (i + 1))
+    in
+    find 0
+  in
+  check "sarif declares the version" true (contains "\"2.1.0\"");
+  (* the driver advertises every stable rule with a docs anchor *)
+  check "sarif carries rule metadata" true (contains "\"rules\":[");
+  List.iter
+    (fun code ->
+      check
+        ("sarif rule " ^ Diagnostic.code_id code ^ " has a helpUri anchor")
+        true
+        (contains
+           (Printf.sprintf "\"helpUri\":%s"
+              (Printf.sprintf "\"%s\"" (Diagnostic.help_uri code)))))
+    Diagnostic.all_codes
 
 (* --- satellite: file:line:col rendering, sorted elaboration errors --- *)
 
@@ -330,10 +354,25 @@ let test_serve_lint_gate () =
   let module Metrics = Trust_serve.Metrics in
   let metrics = Metrics.create () in
   let cache = Cache.create Cache.default_policy in
+  let double_spend =
+    match
+      Elaborate.from_string
+        {|principal b : broker
+principal c1 : consumer
+principal c2 : consumer
+trusted t1
+trusted t2
+deal s1: c1 pays $10; b gives "d"; via t1
+deal s2: c2 pays $10; b gives "d"; via t2|}
+    with
+    | Ok spec -> spec
+    | Error e -> Alcotest.failf "double-spend spec must elaborate: %s" e
+  in
   let sessions =
     [
       Session.make ~id:0 Scenarios.example1_poor_broker;
       Session.make ~id:1 Scenarios.example1;
+      Session.make ~id:2 double_spend;
     ]
   in
   let _stats = Scheduler.run ~metrics Scheduler.default_config cache sessions in
@@ -345,9 +384,16 @@ let test_serve_lint_gate () =
   (match (List.nth sessions 1).Session.status with
   | Session.Settled -> ()
   | s -> Alcotest.failf "clean session should settle, got %s" (Session.status_label s));
-  check_int "lint rejection counted" 1
+  (* the structural conflict pass runs in the quick admission gate too:
+     a double spend is refused with its code before synthesis *)
+  (match (List.nth sessions 2).Session.status with
+  | Session.Aborted reason ->
+    check "double spend refused with its code" true
+      (String.length reason >= 13 && String.sub reason 0 13 = "lint: [TL013]")
+  | s -> Alcotest.failf "expected TL013 abort, got %s" (Session.status_label s));
+  check_int "lint rejections counted" 2
     (Metrics.value (Metrics.counter metrics "serve_sessions_lint_rejected_total"));
-  check_int "lint rejection also counts as abort" 1
+  check_int "lint rejections also count as aborts" 2
     (Metrics.value (Metrics.counter metrics "serve_sessions_aborted_total"))
 
 let () =
