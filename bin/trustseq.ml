@@ -930,8 +930,8 @@ let trace_diff_cmd =
 (* batch *)
 
 let batch_cmd =
-  let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify json
-      out trace_out trace_format debug_gauges =
+  let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify
+      no_compiled json out trace_out trace_format debug_gauges =
     let module Service = Trust_serve.Service in
     let trace_format = trace_format_or_die trace_format in
     if sessions < 0 then (
@@ -974,6 +974,7 @@ let batch_cmd =
         drop_rate;
         defect_every;
         trace = trace_out <> None;
+        compiled = not no_compiled;
       }
     in
     let outcome = Service.run config in
@@ -1053,6 +1054,15 @@ let batch_cmd =
       & info [ "verify-cache" ]
           ~doc:"Re-synthesize on every cache hit and fail loudly on divergence.")
   in
+  let no_compiled =
+    Arg.(
+      value & flag
+      & info [ "no-compiled" ]
+          ~doc:
+            "Run every session on the interpreted reference engine instead of executing cached \
+             compiled plans on the allocation-free runtime. The snapshot is bit-for-bit identical \
+             either way; only wall-clock time changes.")
+  in
   let json = Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.") in
   let out =
     Arg.(
@@ -1088,8 +1098,8 @@ let batch_cmd =
           (protocol cache + batch scheduler) and print a deterministic metrics report.")
     Term.(
       const run $ sessions $ seed $ concurrency $ jobs $ mode $ density $ drop_rate $ defect_every
-      $ no_rescue $ verify $ json $ out $ trace_out $ trace_format_arg ~default:"jsonl" "--trace"
-      $ debug_gauges)
+      $ no_rescue $ verify $ no_compiled $ json $ out $ trace_out
+      $ trace_format_arg ~default:"jsonl" "--trace" $ debug_gauges)
 
 (* serve / submit / loadgen — the daemon and its clients *)
 

@@ -1,0 +1,597 @@
+(* Compiled protocol plans.
+
+   A plan flattens everything the engine hot path needs into integer-
+   indexed immutable arrays, built once at synthesis time and shared by
+   every run (and every domain) that executes the same cached protocol:
+
+   - every action any behaviour can ever emit, interned into one table
+     (closed under Undo-of-every-Do, so bounce returns and deadline
+     refunds are ids too), with per-action flow, beneficiary and
+     asset tables;
+   - each party's script as a flat (condition id, action id) array,
+     escrow automata as per-deal slot tables, persona duties as
+     per-deal id triples;
+   - initial endowments, per-deal expiry times, and the §5 audit and
+     exposure lookup tables (send/receive candidates per commitment,
+     custody-holder flags, per-asset prices, single-transfer bounds).
+
+   The runtime that interprets these plans without re-elaboration lives
+   in [Trust_sim.Hotpath]; [Trust_sim.Harness.behaviors_for] remains
+   the interpreted oracle it is property-tested against. *)
+
+open Exchange
+
+type step = { cond : int;  (** action id to wait for; [-1] fires immediately *) act : int }
+
+type deal_slot = {
+  sl_deal : int;  (** index into the spec's deal list *)
+  sl_left_in : int;  (** [Do] of the Left side transfer *)
+  sl_right_in : int;
+  sl_left_back : int;  (** [Undo] counterparts for deadline returns *)
+  sl_right_back : int;
+  sl_forwards : int array;  (** completion forwards, documents before money *)
+}
+
+type deposit_slot = {
+  dp_in : int;  (** [Do] of the §6 deposit transfer *)
+  dp_back : int;  (** its [Undo]: the refund *)
+  dp_forfeit : int;  (** [Do] forfeiting the amount to the protected owner *)
+  dp_deal : int;  (** deal index of the covered piece *)
+  dp_left : bool;  (** covered piece is the deal's Left side *)
+}
+
+type escrow = {
+  es_atomic : bool;
+  es_deals : deal_slot array;  (** mediated deals, spec order *)
+  es_deposits : deposit_slot array;  (** held deposits, offer order *)
+  es_notifies : step array;  (** notification steps of the agent's script *)
+}
+
+type persona_deal = {
+  pc_deal : int;
+  pc_incoming : int;  (** [Do] of the counterparty's transfer into me *)
+  pc_return : int;  (** its [Undo] *)
+  pc_forward : int;  (** [Do] of my own counterpart transfer *)
+}
+
+type role =
+  | Script of { steps : step array; persona : persona_deal array }
+  | Escrow of escrow
+
+type commit_check = {
+  cc_send : int;  (** the principal's visible send for this commitment *)
+  cc_recv : int array;  (** candidate deliveries that complete it *)
+}
+
+type judge = Judge_principal of int * commit_check array | Judge_trusted of int
+
+type t = {
+  spec : Spec.t;  (** the split spec the protocol was synthesized from *)
+  lockstep : bool;  (** lockstep runs broadcast deliveries *)
+  n_deals : int;
+  (* parties *)
+  parties : Party.t array;  (** [Spec.parties] order, extended by action endpoints *)
+  name_of : int array;  (** party index -> name index (holdings/ledger key) *)
+  n_names : int;
+  pslot_of_name : int array;  (** name index -> principal slot, [-1] none *)
+  n_principals : int;
+  (* actions *)
+  actions : Action.t array;
+  n_actions : int;
+  act_kind : int array;  (** 0 Do, 1 Undo, 2 Notify *)
+  act_debit : int array;  (** debited party index, [-1] for notifications *)
+  act_credit : int array;
+  act_doc : int array;  (** document id, [-1] for money/notify *)
+  act_amount : int array;  (** money amount, [0] otherwise *)
+  act_beneficiary : int array;
+  act_undo : int array;  (** id of the [Undo] counterpart of a [Do], [-1] *)
+  docs : string array;
+  n_docs : int;
+  (* behaviours, [Harness.behaviors_for] order *)
+  roles : (int * role) array;  (** (party index, role) *)
+  behavior_of : int array;  (** party index -> roles index, [-1] *)
+  (* engine scaffolding *)
+  endow_balance : int array;  (** per name index *)
+  endow_docs : int array array;  (** per name index, per doc id *)
+  expiries : (int * int) array;  (** (deal index, expiry tick), spec order *)
+  (* audit *)
+  judged : judge array;
+  (* exposure *)
+  deposit_expect : int array;  (** per action id: §6 deposit occurrences *)
+  price_src : int array;  (** value of the asset to the releasing party *)
+  price_tgt : int array;
+  custody_if_had : bool array;  (** target holds in custody, sender had custody *)
+  custody_if_not : bool array;
+  src_principal : bool array;
+  tgt_trusted : bool array;
+  bound : int array;  (** per principal slot: §5 single-transfer bound *)
+}
+
+let party_index t party =
+  let n = Array.length t.parties in
+  let rec go i =
+    if i >= n then -1 else if Party.equal t.parties.(i) party then i else go (i + 1)
+  in
+  go 0
+
+(* The §4.2.4 visible send of a principal's commitment (Outcomes.send_transfer). *)
+let send_transfer spec d side =
+  let principal = Spec.commitment_principal d side in
+  let agent = Spec.effective_agent spec d in
+  let target =
+    if Party.equal agent principal then Spec.commitment_principal d (Spec.other_side side)
+    else agent
+  in
+  Action.{ source = principal; target; asset = Spec.commitment_sends d side }
+
+let compile ~lockstep ~shared ?plan ~price spec protocol =
+  if not (Party.Map.is_empty spec.Spec.overrides) then
+    invalid_arg "Compile.compile: acceptability overrides are not compilable";
+  let deals = Array.of_list spec.Spec.deals in
+  let n_deals = Array.length deals in
+  let deal_index id =
+    let rec go i =
+      if i >= n_deals then -1
+      else if String.equal deals.(i).Spec.id id then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  (* -- party interning -- *)
+  let party_tbl : (Party.t, int) Hashtbl.t = Hashtbl.create 16 in
+  let party_rev = ref [] in
+  let n_parties = ref 0 in
+  let party_id p =
+    match Hashtbl.find_opt party_tbl p with
+    | Some i -> i
+    | None ->
+      let i = !n_parties in
+      Hashtbl.replace party_tbl p i;
+      party_rev := p :: !party_rev;
+      incr n_parties;
+      i
+  in
+  List.iter (fun p -> ignore (party_id p)) (Spec.parties spec);
+  (* -- action interning -- *)
+  let act_tbl : (Action.t, int) Hashtbl.t = Hashtbl.create 64 in
+  let act_rev = ref [] in
+  let n_acts = ref 0 in
+  let act_id a =
+    match Hashtbl.find_opt act_tbl a with
+    | Some i -> i
+    | None ->
+      let i = !n_acts in
+      Hashtbl.replace act_tbl a i;
+      act_rev := a :: !act_rev;
+      incr n_acts;
+      (match a with
+      | Action.Do tr | Action.Undo tr ->
+        ignore (party_id tr.Action.source);
+        ignore (party_id tr.Action.target)
+      | Action.Notify { agent; informed } ->
+        ignore (party_id agent);
+        ignore (party_id informed));
+      i
+  in
+  let step_of (s : Protocol.scripted_step) =
+    let cond =
+      match s.Protocol.condition with
+      | Protocol.Now -> -1
+      | Protocol.Observed a -> act_id a
+    in
+    { cond; act = act_id s.Protocol.action }
+  in
+  let offers = match plan with Some p -> p.Indemnity.offers | None -> [] in
+  let deposit_actions = match plan with Some p -> Indemnity.deposits p | None -> [] in
+  let distributed_steps party =
+    List.filter_map
+      (fun action ->
+        if Party.equal (Action.performer action) party then
+          Some Protocol.{ condition = Now; action }
+        else None)
+      deposit_actions
+  in
+  let script_for party =
+    if lockstep then Protocol.script_of protocol party
+    else distributed_steps party @ Protocol.script_of protocol party
+  in
+  let deposit_transfer (o : Indemnity.offer) =
+    Action.
+      {
+        source = o.Indemnity.offered_by;
+        target = o.Indemnity.via;
+        asset = Asset.money o.Indemnity.amount;
+      }
+  in
+  (* -- behaviours, principals first (Harness.behaviors_for order) -- *)
+  let principal_role party =
+    let steps = Array.of_list (List.map step_of (script_for party)) in
+    let plays_a_role =
+      Party.Map.exists (fun _ p -> Party.equal p party) spec.Spec.personas
+    in
+    let persona =
+      if not plays_a_role then [||]
+      else begin
+        let entries = ref [] in
+        Array.iteri
+          (fun i d ->
+            if Spec.persona_of spec d.Spec.via = Some party then begin
+              let my_side = if Party.equal d.Spec.left party then Spec.Left else Spec.Right in
+              let other = Spec.other_side my_side in
+              let counterparty = Spec.commitment_principal d other in
+              let incoming =
+                Action.
+                  { source = counterparty; target = party; asset = Spec.commitment_sends d other }
+              in
+              let forward =
+                Action.
+                  { source = party; target = counterparty; asset = Spec.commitment_sends d my_side }
+              in
+              entries :=
+                {
+                  pc_deal = i;
+                  pc_incoming = act_id (Action.Do incoming);
+                  pc_return = act_id (Action.Undo incoming);
+                  pc_forward = act_id (Action.Do forward);
+                }
+                :: !entries
+            end)
+          deals;
+        Array.of_list (List.rev !entries)
+      end
+    in
+    Script { steps; persona }
+  in
+  let trusted_role party =
+    let notifies =
+      List.filter
+        (fun s -> match s.Protocol.action with Action.Notify _ -> true | _ -> false)
+        (Protocol.script_of protocol party)
+    in
+    let coordinates =
+      List.exists (fun (_, agent) -> Party.equal agent party) (Sequencing.coordinated_bundles spec)
+    in
+    let mediated = ref [] in
+    Array.iteri
+      (fun i d ->
+        if Party.equal d.Spec.via party then begin
+          let side_transfer side =
+            Action.
+              {
+                source = Spec.commitment_principal d side;
+                target = d.Spec.via;
+                asset = Spec.commitment_sends d side;
+              }
+          in
+          let left_tr = side_transfer Spec.Left and right_tr = side_transfer Spec.Right in
+          let to_left =
+            Action.{ source = d.Spec.via; target = d.Spec.left; asset = d.Spec.right_sends }
+          in
+          let to_right =
+            Action.{ source = d.Spec.via; target = d.Spec.right; asset = d.Spec.left_sends }
+          in
+          let docs, money =
+            List.partition (fun tr -> Asset.is_document tr.Action.asset) [ to_left; to_right ]
+          in
+          let forwards = List.map (fun tr -> act_id (Action.Do tr)) (docs @ money) in
+          mediated :=
+            {
+              sl_deal = i;
+              sl_left_in = act_id (Action.Do left_tr);
+              sl_right_in = act_id (Action.Do right_tr);
+              sl_left_back = act_id (Action.Undo left_tr);
+              sl_right_back = act_id (Action.Undo right_tr);
+              sl_forwards = Array.of_list forwards;
+            }
+            :: !mediated
+        end)
+      deals;
+    let es_deals = Array.of_list (List.rev !mediated) in
+    let es_deposits =
+      List.filter_map
+        (fun (o : Indemnity.offer) ->
+          if Party.equal o.Indemnity.via party then begin
+            let tr = deposit_transfer o in
+            let forfeit =
+              Action.
+                {
+                  source = party;
+                  target = o.Indemnity.owner;
+                  asset = Asset.money o.Indemnity.amount;
+                }
+            in
+            Some
+              {
+                dp_in = act_id (Action.Do tr);
+                dp_back = act_id (Action.Undo tr);
+                dp_forfeit = act_id (Action.Do forfeit);
+                dp_deal = deal_index o.Indemnity.piece.Spec.deal;
+                dp_left = o.Indemnity.piece.Spec.side = Spec.Left;
+              }
+          end
+          else None)
+        offers
+      |> Array.of_list
+    in
+    let atomic = coordinates || ((not shared) && Array.length es_deals > 1) in
+    Escrow
+      {
+        es_atomic = atomic;
+        es_deals;
+        es_deposits;
+        es_notifies = Array.of_list (List.map step_of notifies);
+      }
+  in
+  let principals = Spec.principals spec in
+  let roles =
+    List.map (fun p -> (party_id p, principal_role p)) principals
+    @ List.filter_map
+        (fun p ->
+          match Spec.persona_of spec p with
+          | Some _ -> None
+          | None -> Some (party_id p, trusted_role p))
+        (Spec.trusted_agents spec)
+    |> Array.of_list
+  in
+  (* -- audit candidate actions, then close the table under Undo -- *)
+  let judged_src =
+    List.filter
+      (fun party -> not (Party.is_trusted party && Spec.persona_of spec party <> None))
+      (Spec.parties spec)
+  in
+  let commit_checks party =
+    List.filter_map
+      (fun (cref, d) ->
+        let side = cref.Spec.side in
+        if not (Party.equal (Spec.commitment_principal d side) party) then None
+        else begin
+          let send = send_transfer spec d side in
+          let expects = Spec.commitment_expects d side in
+          let counterparty = Spec.commitment_principal d (Spec.other_side side) in
+          let recv src = Action.Do Action.{ source = src; target = party; asset = expects } in
+          Some
+            {
+              cc_send = act_id (Action.Do send);
+              cc_recv =
+                Array.of_list
+                  (List.map recv [ Spec.effective_agent spec d; d.Spec.via; counterparty ]
+                  |> List.map act_id);
+            }
+        end)
+      (Spec.commitments spec)
+    |> Array.of_list
+  in
+  let judged =
+    Array.of_list
+      (List.map
+         (fun party ->
+           if Party.is_trusted party then Judge_trusted (party_id party)
+           else Judge_principal (party_id party, commit_checks party))
+         judged_src)
+  in
+  List.iter (fun a -> ignore (act_id a)) deposit_actions;
+  let do_snapshot = List.rev !act_rev in
+  List.iter
+    (fun a -> match a with Action.Do tr -> ignore (act_id (Action.Undo tr)) | _ -> ())
+    do_snapshot;
+  (* -- freeze tables -- *)
+  let actions = Array.of_list (List.rev !act_rev) in
+  let n_actions = Array.length actions in
+  let parties = Array.of_list (List.rev !party_rev) in
+  let n_parties = Array.length parties in
+  let doc_tbl : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let doc_rev = ref [] in
+  let n_docs = ref 0 in
+  let doc_id d =
+    match Hashtbl.find_opt doc_tbl d with
+    | Some i -> i
+    | None ->
+      let i = !n_docs in
+      Hashtbl.replace doc_tbl d i;
+      doc_rev := d :: !doc_rev;
+      incr n_docs;
+      i
+  in
+  Array.iter
+    (function
+      | Action.Do tr | Action.Undo tr -> (
+        match tr.Action.asset with Asset.Document d -> ignore (doc_id d) | Asset.Money _ -> ())
+      | Action.Notify _ -> ())
+    actions;
+  (* endowment documents may never move (stalled specs): intern them too *)
+  List.iter
+    (fun (cref, d) ->
+      match Spec.commitment_sends d cref.Spec.side with
+      | Asset.Document name -> ignore (doc_id name)
+      | Asset.Money _ -> ())
+    (Spec.commitments spec);
+  let docs = Array.of_list (List.rev !doc_rev) in
+  let n_docs = Array.length docs in
+  (* -- name table (engine holdings and exposure ledgers key by name) -- *)
+  let name_tbl : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let n_names = ref 0 in
+  let name_of =
+    Array.map
+      (fun p ->
+        let name = Party.name p in
+        match Hashtbl.find_opt name_tbl name with
+        | Some i -> i
+        | None ->
+          let i = !n_names in
+          Hashtbl.replace name_tbl name i;
+          incr n_names;
+          i)
+      parties
+  in
+  let n_names = !n_names in
+  let n_principals = List.length principals in
+  let pslot_of_name = Array.make n_names (-1) in
+  List.iteri
+    (fun slot p ->
+      let name = name_of.(party_id p) in
+      if pslot_of_name.(name) < 0 then pslot_of_name.(name) <- slot)
+    principals;
+  (* -- per-action tables -- *)
+  let act_kind = Array.make n_actions 2 in
+  let act_debit = Array.make n_actions (-1) in
+  let act_credit = Array.make n_actions (-1) in
+  let act_doc = Array.make n_actions (-1) in
+  let act_amount = Array.make n_actions 0 in
+  let act_beneficiary = Array.make n_actions (-1) in
+  let act_undo = Array.make n_actions (-1) in
+  let price_src = Array.make n_actions 0 in
+  let price_tgt = Array.make n_actions 0 in
+  let custody_if_had = Array.make n_actions false in
+  let custody_if_not = Array.make n_actions false in
+  let src_principal = Array.make n_actions false in
+  let tgt_trusted = Array.make n_actions false in
+  (* Exposure's custody-holder predicate, precomputed for both values of
+     [src_had_custody] (see Trust_sim.Exposure.custody_holder_for). *)
+  let custody_holder ~src ~src_had_custody holder asset =
+    Party.is_trusted holder
+    || (Party.is_principal holder
+       && List.exists
+            (fun (cref, d) ->
+              Party.equal (Spec.effective_agent spec d) holder
+              && Asset.equal (Spec.commitment_sends d cref.Spec.side) asset
+              && (not (Party.equal (Spec.commitment_principal d cref.Spec.side) holder))
+              && (not
+                    (Party.equal
+                       (Spec.commitment_principal d (Spec.other_side cref.Spec.side))
+                       holder))
+              && (Party.equal (Spec.commitment_principal d cref.Spec.side) src
+                 || src_had_custody))
+            (Spec.commitments spec))
+  in
+  Array.iteri
+    (fun i action ->
+      match action with
+      | Action.Notify { agent; informed } ->
+        act_kind.(i) <- 2;
+        act_beneficiary.(i) <- party_id informed;
+        ignore agent
+      | Action.Do tr | Action.Undo tr ->
+        let is_do = match action with Action.Do _ -> true | _ -> false in
+        act_kind.(i) <- (if is_do then 0 else 1);
+        let source = party_id tr.Action.source and target = party_id tr.Action.target in
+        let debit, credit = if is_do then (source, target) else (target, source) in
+        act_debit.(i) <- debit;
+        act_credit.(i) <- credit;
+        act_beneficiary.(i) <- (if is_do then target else source);
+        (match tr.Action.asset with
+        | Asset.Document d -> act_doc.(i) <- doc_id d
+        | Asset.Money m -> act_amount.(i) <- m);
+        (* exposure views the releasing side as src: Do source / Undo target *)
+        let xsrc = parties.(debit) and xtgt = parties.(credit) in
+        price_src.(i) <- price xsrc tr.Action.asset;
+        price_tgt.(i) <- price xtgt tr.Action.asset;
+        custody_if_had.(i) <- custody_holder ~src:xsrc ~src_had_custody:true xtgt tr.Action.asset;
+        custody_if_not.(i) <- custody_holder ~src:xsrc ~src_had_custody:false xtgt tr.Action.asset;
+        src_principal.(i) <- Party.is_principal xsrc;
+        tgt_trusted.(i) <- Party.is_trusted xtgt)
+    actions;
+  Array.iter
+    (function
+      | Action.Do tr as a ->
+        act_undo.(Hashtbl.find act_tbl a) <- Hashtbl.find act_tbl (Action.Undo tr)
+      | Action.Undo _ | Action.Notify _ -> ())
+    actions;
+  let deposit_expect = Array.make n_actions 0 in
+  List.iter
+    (fun (o : Indemnity.offer) ->
+      let i = Hashtbl.find act_tbl (Action.Do (deposit_transfer o)) in
+      deposit_expect.(i) <- deposit_expect.(i) + 1)
+    offers;
+  (* -- behaviours index -- *)
+  let behavior_of = Array.make n_parties (-1) in
+  Array.iteri (fun i (p, _) -> behavior_of.(p) <- i) roles;
+  (* -- endowments (Engine.initial_endowment, per behaviour party) -- *)
+  let endow_balance = Array.make n_names 0 in
+  let endow_docs = Array.init n_names (fun _ -> Array.make n_docs 0) in
+  Array.iter
+    (fun (pi, _) ->
+      let party = parties.(pi) in
+      let name = name_of.(pi) in
+      endow_balance.(name) <- 0;
+      Array.fill endow_docs.(name) 0 n_docs 0;
+      if not (Party.is_trusted party) then begin
+        List.iter
+          (fun (cref, d) ->
+            if Party.equal (Spec.commitment_principal d cref.Spec.side) party then begin
+              match Spec.commitment_sends d cref.Spec.side with
+              | Asset.Money m -> endow_balance.(name) <- endow_balance.(name) + m
+              | Asset.Document doc ->
+                let asset = Asset.Document doc in
+                let acquires_elsewhere =
+                  List.exists
+                    (fun (cref', d') ->
+                      Party.equal (Spec.commitment_principal d' cref'.Spec.side) party
+                      && Asset.equal (Spec.commitment_expects d' cref'.Spec.side) asset)
+                    (Spec.commitments spec)
+                in
+                if not acquires_elsewhere then begin
+                  let di = doc_id doc in
+                  endow_docs.(name).(di) <- endow_docs.(name).(di) + 1
+                end
+            end)
+          (Spec.commitments spec);
+        List.iter
+          (fun (o : Indemnity.offer) ->
+            if Party.equal o.Indemnity.offered_by party then
+              endow_balance.(name) <- endow_balance.(name) + o.Indemnity.amount)
+          offers
+      end)
+    roles;
+  (* -- deadlines, bounds -- *)
+  let expiries = ref [] in
+  Array.iteri
+    (fun i d ->
+      match d.Spec.deadline with Some dl -> expiries := (i, dl) :: !expiries | None -> ())
+    deals;
+  let bound =
+    Array.of_list
+      (List.map
+         (fun party ->
+           List.fold_left
+             (fun acc (cref, d) ->
+               if Party.equal (Spec.commitment_principal d cref.Spec.side) party then
+                 max acc (price party (Spec.commitment_sends d cref.Spec.side))
+               else acc)
+             0 (Spec.commitments spec))
+         principals)
+  in
+  {
+    spec;
+    lockstep;
+    n_deals;
+    parties;
+    name_of;
+    n_names;
+    pslot_of_name;
+    n_principals;
+    actions;
+    n_actions;
+    act_kind;
+    act_debit;
+    act_credit;
+    act_doc;
+    act_amount;
+    act_beneficiary;
+    act_undo;
+    docs;
+    n_docs;
+    roles;
+    behavior_of;
+    endow_balance;
+    endow_docs;
+    expiries = Array.of_list (List.rev !expiries);
+    judged;
+    deposit_expect;
+    price_src;
+    price_tgt;
+    custody_if_had;
+    custody_if_not;
+    src_principal;
+    tgt_trusted;
+    bound;
+  }

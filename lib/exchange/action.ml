@@ -28,14 +28,18 @@ let beneficiary = function
 let is_message _ = true
 
 let compare_transfer a b =
-  let c = Party.compare a.source b.source in
-  if c <> 0 then c
+  if a == b then 0
   else
-    let c = Party.compare a.target b.target in
-    if c <> 0 then c else Asset.compare a.asset b.asset
+    let c = Party.compare a.source b.source in
+    if c <> 0 then c
+    else
+      let c = Party.compare a.target b.target in
+      if c <> 0 then c else Asset.compare a.asset b.asset
 
 let compare a b =
-  match (a, b) with
+  if a == b then 0
+  else
+    match (a, b) with
   | Do ta, Do tb -> compare_transfer ta tb
   | Undo ta, Undo tb -> compare_transfer ta tb
   | Notify na, Notify nb ->
@@ -46,7 +50,7 @@ let compare a b =
   | Undo _, Notify _ -> -1
   | Notify _, (Do _ | Undo _) -> 1
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let pp_transfer verb ppf tr =
   Format.fprintf ppf "%s[%s -> %s](%a)" verb (Party.name tr.source) (Party.name tr.target)

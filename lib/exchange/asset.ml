@@ -16,13 +16,15 @@ let amount = function Money m -> Some m | Document _ -> None
 let value = function Money m -> m | Document _ -> 0
 
 let compare a b =
-  match (a, b) with
-  | Document da, Document db -> String.compare da db
-  | Money ma, Money mb -> Int.compare ma mb
-  | Document _, Money _ -> -1
-  | Money _, Document _ -> 1
+  if a == b then 0
+  else
+    match (a, b) with
+    | Document da, Document db -> String.compare da db
+    | Money ma, Money mb -> Int.compare ma mb
+    | Document _, Money _ -> -1
+    | Money _, Document _ -> 1
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let pp_money ppf m =
   if m mod 100 = 0 then Format.fprintf ppf "$%d" (m / 100)

@@ -13,15 +13,17 @@ let is_trusted = function Trusted _ -> true | Principal _ -> false
 let role = function Principal (_, r) -> Some r | Trusted _ -> None
 
 let compare a b =
-  match (a, b) with
-  | Principal (na, ra), Principal (nb, rb) ->
-    let c = String.compare na nb in
-    if c <> 0 then c else Stdlib.compare ra rb
-  | Trusted na, Trusted nb -> String.compare na nb
-  | Principal _, Trusted _ -> -1
-  | Trusted _, Principal _ -> 1
+  if a == b then 0
+  else
+    match (a, b) with
+    | Principal (na, ra), Principal (nb, rb) ->
+      let c = String.compare na nb in
+      if c <> 0 then c else Stdlib.compare ra rb
+    | Trusted na, Trusted nb -> String.compare na nb
+    | Principal _, Trusted _ -> -1
+    | Trusted _, Principal _ -> 1
 
-let equal a b = compare a b = 0
+let equal a b = a == b || compare a b = 0
 
 let pp_role ppf r =
   Format.pp_print_string ppf

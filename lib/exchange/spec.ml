@@ -18,7 +18,134 @@ type t = {
   priorities : (Party.t * commitment_ref) list;
   splits : (Party.t * commitment_ref) list;
   overrides : State.acceptability Party.Map.t;
+  shape : (string * int64) Lazy.t;
 }
+
+(* {2 Canonical shape}
+
+   Every variable-length field is length-prefixed so the encoding is
+   injective: no choice of party or deal names can make two different
+   specs collide. The encoding (and its FNV-1a hash) is memoized in the
+   spec itself — computed at most once per constructed value, however
+   many times the protocol cache looks the spec up. *)
+
+let enc_string buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let enc_party buf p =
+  (match Party.role p with
+  | Some Party.Consumer -> Buffer.add_char buf 'C'
+  | Some Party.Producer -> Buffer.add_char buf 'P'
+  | Some Party.Broker -> Buffer.add_char buf 'B'
+  | None -> Buffer.add_char buf 'T');
+  enc_string buf (Party.name p)
+
+let enc_asset buf = function
+  | Asset.Money m ->
+    Buffer.add_char buf 'm';
+    Buffer.add_string buf (string_of_int m)
+  | Asset.Document d ->
+    Buffer.add_char buf 'd';
+    enc_string buf d
+
+let enc_ref buf { deal; side } =
+  enc_string buf deal;
+  Buffer.add_char buf (match side with Left -> 'L' | Right -> 'R')
+
+let encode_shape t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "deals[";
+  List.iter
+    (fun d ->
+      Buffer.add_char buf '(';
+      enc_string buf d.id;
+      enc_party buf d.left;
+      enc_party buf d.right;
+      enc_party buf d.via;
+      enc_asset buf d.left_sends;
+      enc_asset buf d.right_sends;
+      (match d.deadline with
+      | None -> Buffer.add_char buf '-'
+      | Some n -> Buffer.add_string buf (string_of_int n));
+      Buffer.add_char buf ')')
+    t.deals;
+  Buffer.add_string buf "]personas[";
+  (* Map bindings come out in key order, so insertion order cannot leak
+     into the encoding. *)
+  List.iter
+    (fun (trusted, principal) ->
+      Buffer.add_char buf '(';
+      enc_party buf trusted;
+      enc_party buf principal;
+      Buffer.add_char buf ')')
+    (Party.Map.bindings t.personas);
+  Buffer.add_string buf "]prios[";
+  List.iter
+    (fun (owner, cref) ->
+      Buffer.add_char buf '(';
+      enc_party buf owner;
+      enc_ref buf cref;
+      Buffer.add_char buf ')')
+    t.priorities;
+  Buffer.add_string buf "]splits[";
+  List.iter
+    (fun (owner, cref) ->
+      Buffer.add_char buf '(';
+      enc_party buf owner;
+      enc_ref buf cref;
+      Buffer.add_char buf ')')
+    t.splits;
+  Buffer.add_string buf "]ovr[";
+  List.iter
+    (fun (party, _) ->
+      Buffer.add_char buf '(';
+      enc_party buf party;
+      Buffer.add_char buf ')')
+    (Party.Map.bindings t.overrides);
+  Buffer.add_string buf "]";
+  Buffer.contents buf
+
+let shape_fnv1a s =
+  let prime = 0x100000001B3L in
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+(* Install a fresh memo: every construction site (make and the with_
+   updates) routes through here, so a spec's shape can never go stale.
+   The recursive binding is constructive — the lazy body reads the
+   cooked record's non-shape fields only. *)
+let cook base =
+  let rec cooked =
+    {
+      base with
+      shape =
+        lazy
+          (let key = encode_shape cooked in
+           (key, shape_fnv1a key));
+    }
+  in
+  cooked
+
+(* [Lazy.force] is not domain-safe: a force that observes another
+   domain mid-force raises [Lazy.Undefined]. The shape is a pure
+   function of the spec, so the loser simply computes its own copy —
+   same value, no coordination. *)
+let force_shape t =
+  try Lazy.force t.shape
+  with Lazy.Undefined ->
+    let key = encode_shape t in
+    (key, shape_fnv1a key)
+
+let shape_key t = fst (force_shape t)
+let shape_hash t = snd (force_shape t)
+let shape_hex t = Printf.sprintf "%016Lx" (shape_hash t)
 
 let deal ~id ~left ~right ~via ~left_sends ~right_sends =
   { id; left; right; via; left_sends; right_sends; deadline = None }
@@ -200,7 +327,17 @@ let make ?(personas = []) ?(priorities = []) ?(splits = []) ?(overrides = []) de
   let overrides =
     List.fold_left (fun m (party, a) -> Party.Map.add party a m) Party.Map.empty overrides
   in
-  let t = { deals; personas; priorities; splits; overrides } in
+  let t =
+    cook
+      {
+        deals;
+        personas;
+        priorities;
+        splits;
+        overrides;
+        shape = lazy (assert false);
+      }
+  in
   match validate t with Ok () -> Ok t | Error es -> Error es
 
 let make_exn ?personas ?priorities ?splits ?overrides deals =
@@ -209,6 +346,7 @@ let make_exn ?personas ?priorities ?splits ?overrides deals =
   | Error es -> invalid_arg ("Spec.make_exn: " ^ String.concat "; " es)
 
 let revalidate_exn what t =
+  let t = cook t in
   match validate t with
   | Ok () -> t
   | Error es -> invalid_arg (what ^ ": " ^ String.concat "; " es)
@@ -221,13 +359,13 @@ let with_persona ~trusted ~principal t =
   revalidate_exn "Spec.with_persona"
     { t with personas = Party.Map.add trusted principal t.personas }
 
+let with_override party acceptability t =
+  cook { t with overrides = Party.Map.add party acceptability t.overrides }
+
 let with_priority owner cref t =
   if is_priority t owner cref then t
   else
     revalidate_exn "Spec.with_priority" { t with priorities = t.priorities @ [ (owner, cref) ] }
-
-let with_override party acceptability t =
-  { t with overrides = Party.Map.add party acceptability t.overrides }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>spec with %d deals" (List.length t.deals);

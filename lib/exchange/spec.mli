@@ -41,6 +41,11 @@ type t = private {
   overrides : State.acceptability Party.Map.t;
       (** acceptability overrides; parties absent here use the
           generated defaults of {!Outcomes} *)
+  shape : (string * int64) Lazy.t;
+      (** memoized canonical shape: the injective byte encoding of
+          everything synthesis depends on, paired with its 64-bit
+          FNV-1a hash. Installed by every constructor, forced at most
+          once per value — prefer {!shape_key}/{!shape_hash}. *)
 }
 
 (** {1 Construction} *)
@@ -146,6 +151,23 @@ val indemnity_amount : t -> Party.t -> commitment_ref -> Asset.money
     Fig. 7's $50/$40/$30 for the $10/$20/$30 documents). *)
 
 val acceptability_overrides : t -> Party.t -> State.acceptability option
+
+(** {1 Canonical shape} *)
+
+val shape_key : t -> string
+(** Injective canonical encoding of the spec: deals in spec order,
+    parties with roles, assets with exact amounts, deadlines, personas,
+    priorities, splits, and override {e keys}. Equal strings iff equal
+    synthesis inputs. Memoized — repeated calls return the same
+    physical string. *)
+
+val shape_hash : t -> int64
+(** FNV-1a (64-bit) of {!shape_key}, memoized alongside it. Stable
+    across runs and processes — never derived from [Hashtbl.hash] or
+    address identity. *)
+
+val shape_hex : t -> string
+(** [shape_hash] as 16 lowercase hex digits. *)
 
 val validate : t -> (unit, string list) result
 

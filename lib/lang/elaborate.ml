@@ -49,13 +49,13 @@ let lookup_trusted env name =
   | None -> None
 
 let role_of = function
-  | Ast.Consumer -> Party.consumer
-  | Ast.Producer -> Party.producer
-  | Ast.Broker -> Party.broker
+  | Ast.Consumer -> Intern.consumer
+  | Ast.Producer -> Intern.producer
+  | Ast.Broker -> Intern.broker
 
 let asset_of = function
-  | Ast.Pays cents -> Asset.money cents
-  | Ast.Gives doc -> Asset.document doc
+  | Ast.Pays cents -> Intern.money cents
+  | Ast.Gives doc -> Intern.document doc
 
 let side_of = function Ast.Buyer -> Spec.Left | Ast.Seller -> Spec.Right
 
@@ -70,7 +70,7 @@ let program decls =
   List.iter
     (function
       | Ast.Principal { name; role } -> declare env name (role_of role name.Loc.value)
-      | Ast.Trusted name -> declare env name (Party.trusted name.Loc.value)
+      | Ast.Trusted name -> declare env name (Intern.trusted name.Loc.value)
       | Ast.Deal _ | Ast.Priority _ | Ast.Split _ | Ast.Trust _ | Ast.Persona _ -> ()
       | Ast.Relay name | Ast.Request { id = name; _ } ->
         err env name.Loc.loc "web declarations need a web program (requests present)")
@@ -151,7 +151,7 @@ let web decls =
   List.iter
     (function
       | Ast.Principal { name; role } -> declare env name (role_of role name.Loc.value)
-      | Ast.Trusted name -> declare env name (Party.trusted name.Loc.value)
+      | Ast.Trusted name -> declare env name (Intern.trusted name.Loc.value)
       | Ast.Deal { id; _ } ->
         err env id.Loc.loc "web programs route requests; explicit deals are not allowed"
       | Ast.Priority { owner; _ } | Ast.Split { owner; _ } ->

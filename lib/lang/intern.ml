@@ -1,0 +1,46 @@
+(* Hash-consing for the small value universe the front end mints.
+
+   Every elaboration of the same source text used to allocate fresh
+   [Party.t] and [Asset.t] values; downstream structural comparisons
+   then re-walked the strings every time. Routing the constructors
+   through these tables makes repeated elaborations return physically
+   equal values, so the [==] fast paths in [Party.compare],
+   [Asset.compare] and [Action.compare] short-circuit the common case.
+
+   The tables are process-global and shared across Pool domains, hence
+   the mutex. They are bounded: once [capacity] distinct values have
+   been seen, unknown values are returned un-interned (correctness is
+   unaffected — interning is only a sharing hint), so a daemon parsing
+   an unbounded principal universe cannot grow them without limit. *)
+
+open Exchange
+
+let capacity = 65_536
+
+type 'a table = { mutex : Mutex.t; entries : ('a, 'a) Hashtbl.t }
+
+let make_table () = { mutex = Mutex.create (); entries = Hashtbl.create 256 }
+
+let intern table v =
+  Mutex.lock table.mutex;
+  let r =
+    match Hashtbl.find_opt table.entries v with
+    | Some shared -> shared
+    | None ->
+      if Hashtbl.length table.entries < capacity then Hashtbl.replace table.entries v v;
+      v
+  in
+  Mutex.unlock table.mutex;
+  r
+
+let parties : Party.t table = make_table ()
+let assets : Asset.t table = make_table ()
+
+let party p = intern parties p
+let asset a = intern assets a
+let consumer name = party (Party.consumer name)
+let producer name = party (Party.producer name)
+let broker name = party (Party.broker name)
+let trusted name = party (Party.trusted name)
+let money cents = asset (Asset.money cents)
+let document name = asset (Asset.document name)

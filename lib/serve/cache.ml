@@ -13,6 +13,7 @@ type entry = {
   plan : Indemnity.plan option;
   protocol : Protocol.t;
   exposure : Trust_analyze.Static_exposure.t;
+  compiled : Trust_core.Compile.t option;
 }
 
 exception Divergence of string
@@ -31,6 +32,8 @@ type shard = {
   lock : Mutex.t;
   table : (string, cached) Hashtbl.t;
   order : string Queue.t;
+  admission : (string, string option) Hashtbl.t;
+      (* memoized shallow-lint verdict by shape: None clean, Some reason *)
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -62,6 +65,7 @@ let create ?(capacity = 4096) ?(shards = default_shards) policy =
             lock = Mutex.create ();
             table = Hashtbl.create 64;
             order = Queue.create ();
+            admission = Hashtbl.create 64;
             hits = 0;
             misses = 0;
             evictions = 0;
@@ -75,8 +79,12 @@ let policy t = t.policy
 
 let shard_count t = Array.length t.shards
 
-let shard_of t key =
-  (Int64.to_int (Shape.fnv1a key) land max_int) mod Array.length t.shards
+(* Shard selection uses the spec's memoized shape hash — re-hashing
+   the canonical key here would box an Int64 pair per character on
+   every hit, dominating the allocation budget of a compiled-path
+   session. *)
+let shard_of t spec =
+  (Int64.to_int (Shape.hash spec) land max_int) mod Array.length t.shards
 
 let merge_plans = function
   | [] -> None
@@ -103,7 +111,22 @@ let fresh policy spec =
        entirely (the static pass is the expensive half of cold
        synthesis — see BENCH_analyze.json). *)
     let exposure = Trust_analyze.Static_exposure.analyze cast.Harness.spec in
-    Ok { split_spec = cast.Harness.spec; plan; protocol = cast.Harness.protocol; exposure }
+    (* Compile once per synthesis: the flat instruction plan the
+       allocation-free runtime executes on cache hits. Specs with
+       acceptability overrides are never cacheable and stay on the
+       interpreted path. *)
+    let compiled =
+      if Party.Map.is_empty cast.Harness.spec.Spec.overrides then
+        Some
+          (Trust_core.Compile.compile
+             ~lockstep:(policy.mode = Harness.Lockstep)
+             ~shared:policy.shared ?plan
+             ~price:(Trust_sim.Trace.price_for cast.Harness.spec)
+             cast.Harness.spec cast.Harness.protocol)
+      else None
+    in
+    Ok
+      { split_spec = cast.Harness.spec; plan; protocol = cast.Harness.protocol; exposure; compiled }
   | Error e -> Error e
 
 let equal_offer (a : Indemnity.offer) (b : Indemnity.offer) =
@@ -155,7 +178,7 @@ let synthesize t spec =
   end
   else begin
     let key = Shape.encode spec in
-    let shard = t.shards.(shard_of t key) in
+    let shard = t.shards.(shard_of t spec) in
     Mutex.lock shard.lock;
     (* [verify] and [fresh] may raise (Divergence, synthesis bugs);
        never leave the shard locked behind them. *)
@@ -187,6 +210,45 @@ let synthesize t spec =
           Queue.add key shard.order;
           shard.misses <- shard.misses + 1;
           (value, `Miss))
+  end
+
+(* Admission lint is a pure function of the spec, so the serve path
+   memoizes the shallow verdict by shape. Returns [None] when the spec
+   passes, [Some reason] (the scheduler's abort reason, formatted) for
+   the first error-level diagnostic. Non-cacheable specs are linted
+   fresh. The memo is bounded: a full shard table is reset wholesale
+   (entries are small strings, and correctness never depends on
+   residency). *)
+let lint_verdict spec =
+  match
+    List.find_opt
+      (fun d -> d.Trust_analyze.Diagnostic.severity = Trust_analyze.Diagnostic.Error)
+      (Trust_analyze.Lint.check_spec ~deep:false spec)
+  with
+  | Some first ->
+    Some
+      (Printf.sprintf "lint: [%s] %s"
+         (Trust_analyze.Diagnostic.code_id first.Trust_analyze.Diagnostic.code)
+         first.Trust_analyze.Diagnostic.message)
+  | None -> None
+
+let admission t spec =
+  if not (Shape.cacheable spec) then lint_verdict spec
+  else begin
+    let key = Shape.encode spec in
+    let shard = t.shards.(shard_of t spec) in
+    Mutex.lock shard.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock shard.lock)
+      (fun () ->
+        match Hashtbl.find_opt shard.admission key with
+        | Some verdict -> verdict
+        | None ->
+          let verdict = lint_verdict spec in
+          if Hashtbl.length shard.admission >= 4 * t.shard_capacity then
+            Hashtbl.reset shard.admission;
+          Hashtbl.add shard.admission key verdict;
+          verdict)
   end
 
 let epoch t = Atomic.get t.epoch

@@ -35,6 +35,11 @@ type entry = {
       (** the statically proven (or refuted) §5 bound for the split
           spec, computed once at synthesis — a cache hit reuses it
           without re-running the abstract interpretation *)
+  compiled : Trust_core.Compile.t option;
+      (** the flat instruction plan executed by the allocation-free
+          [Trust_sim.Hotpath] runtime on the serve path; [None] only
+          for specs carrying acceptability overrides (never cacheable).
+          Immutable and shared read-only across pool domains. *)
 }
 
 exception Divergence of string
@@ -87,6 +92,15 @@ val advance_epoch : ?max_idle:int -> t -> int
 
 val aged_out : t -> int
 (** Total entries removed by {!advance_epoch} sweeps. *)
+
+val admission : t -> Spec.t -> string option
+(** Memoized shallow admission lint ([Lint.check_spec ~deep:false]):
+    [None] when the spec passes, [Some reason] — the formatted abort
+    reason of the first error-level diagnostic — when it is rejected.
+    The verdict is a pure function of the spec, memoized by shape in
+    the same shards as synthesis; non-cacheable specs are linted
+    fresh. Callers needing lint {e spans} (tracing enabled) should run
+    the linter directly instead. *)
 
 val synthesize : t -> Spec.t -> (entry, string) result * [ `Hit | `Miss | `Bypass ]
 (** Memoized synthesis. [`Bypass] means the spec was not {!Shape.cacheable}

@@ -12,6 +12,7 @@ type config = {
   drop_rate : float;
   retry : bool;
   seed : int64;
+  compiled : bool;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     drop_rate = 0.;
     retry = true;
     seed = 1L;
+    compiled = true;
   }
 
 type stats = { makespan : int; retried : int }
@@ -87,9 +89,56 @@ let recorders metrics =
 
 let record rec_opt f = Option.iter f rec_opt
 
-(* One engine run of an already-synthesized session. *)
-let run_once cfg ?(obs = Obs.null) ?parent (entry : Cache.entry) policy (session : Session.t)
-    ~drops rec_opt =
+(* One run of an already-synthesized session on the compiled fast
+   path: the cached instruction plan executes against per-domain
+   scratch with no per-run protocol allocation. Verdicts, ticks,
+   events and exposure aggregates are identical to [run_interpreted]
+   (property-tested in test_hotpath), so the two paths may be mixed
+   freely across sessions and domains. *)
+let run_compiled cfg (plan : Trust_core.Compile.t) (session : Session.t) ~drops rec_opt =
+  session.Session.attempts <- session.Session.attempts + 1;
+  let drop =
+    if drops && cfg.drop_rate > 0. then
+      Some (fun seq -> drop_decision cfg ~session_id:session.Session.id seq)
+    else None
+  in
+  let config =
+    {
+      Trust_sim.Hotpath.latency = cfg.latency;
+      deadline = cfg.session_deadline;
+      max_events = cfg.max_events;
+      drop;
+    }
+  in
+  let summary =
+    Trust_sim.Hotpath.exec ~config ~defectors:session.Session.defectors plan
+  in
+  let duration = max 1 summary.Trust_sim.Hotpath.duration in
+  session.Session.ticks <- session.Session.ticks + duration;
+  session.Session.events <- session.Session.events + summary.Trust_sim.Hotpath.events;
+  session.Session.stalled <- summary.Trust_sim.Hotpath.stalled;
+  let peak = Trust_sim.Hotpath.total_peak_risk summary in
+  let risk_ticks = Trust_sim.Hotpath.total_risk_ticks summary in
+  let violations = summary.Trust_sim.Hotpath.violations in
+  session.Session.exposure_peak <- max session.Session.exposure_peak peak;
+  session.Session.exposure_ticks <- session.Session.exposure_ticks + risk_ticks;
+  session.Session.exposure_violations <- session.Session.exposure_violations + violations;
+  record rec_opt (fun r ->
+      Metrics.incr ~by:summary.Trust_sim.Hotpath.events r.engine_events;
+      Metrics.incr ~by:summary.Trust_sim.Hotpath.deliveries r.deliveries;
+      Metrics.observe r.ticks_h duration;
+      Metrics.observe r.events_h summary.Trust_sim.Hotpath.events;
+      Metrics.observe r.exposure_peak_h peak;
+      Metrics.observe r.exposure_ticks_h risk_ticks;
+      if violations > 0 then Metrics.incr ~by:violations r.exposure_violations);
+  if summary.Trust_sim.Hotpath.all_preferred && summary.Trust_sim.Hotpath.stalled = 0 then
+    Session.Settled
+  else Session.Expired
+
+(* One engine run of an already-synthesized session (interpreted
+   reference path; also the only path carrying observability spans). *)
+let run_interpreted cfg ?(obs = Obs.null) ?parent (entry : Cache.entry) policy
+    (session : Session.t) ~drops rec_opt =
   session.Session.attempts <- session.Session.attempts + 1;
   let drop =
     if drops && cfg.drop_rate > 0. then
@@ -153,6 +202,15 @@ let run_once cfg ?(obs = Obs.null) ?parent (entry : Cache.entry) policy (session
   if report.Audit.all_preferred && result.Engine.stalled = [] then Session.Settled
   else Session.Expired
 
+(* Tracing disables the fast path: spans need the materialized engine
+   run. The two paths agree on every observable outcome. *)
+let run_once cfg ?(obs = Obs.null) ?parent (entry : Cache.entry) policy (session : Session.t)
+    ~drops rec_opt =
+  match entry.Cache.compiled with
+  | Some plan when cfg.compiled && not (Obs.enabled obs) ->
+    run_compiled cfg plan session ~drops rec_opt
+  | Some _ | None -> run_interpreted cfg ~obs ?parent entry policy session ~drops rec_opt
+
 (* The whole lifecycle of one session — admission lint, synthesis
    through the cache, engine run(s), classification — with no shared
    state beyond the (sharded) cache, the (atomic) metrics and the
@@ -166,25 +224,33 @@ let process_session ?parent cfg cache policy rec_opt retried obs (session : Sess
   record rec_opt (fun r -> Metrics.incr r.admitted);
   Session.transition session Session.Synthesizing;
   (* Admission lint: structural (cheap) rules only — error-level
-     diagnostics abort the session before any synthesis work. *)
-  let lint_errors =
-    List.filter
-      (fun d -> d.Trust_analyze.Diagnostic.severity = Trust_analyze.Diagnostic.Error)
-      (Trust_analyze.Lint.check_spec ~obs ~parent:root ~deep:false session.Session.spec)
+     diagnostics abort the session before any synthesis work. With
+     tracing off the verdict comes from the cache's per-shape memo;
+     traced runs lint directly so the span carries its tallies. *)
+  let lint_reason =
+    if Obs.enabled obs then
+      match
+        List.find_opt
+          (fun d -> d.Trust_analyze.Diagnostic.severity = Trust_analyze.Diagnostic.Error)
+          (Trust_analyze.Lint.check_spec ~obs ~parent:root ~deep:false session.Session.spec)
+      with
+      | Some first ->
+        Some
+          (Printf.sprintf "lint: [%s] %s"
+             (Trust_analyze.Diagnostic.code_id first.Trust_analyze.Diagnostic.code)
+             first.Trust_analyze.Diagnostic.message)
+      | None -> None
+    else Cache.admission cache session.Session.spec
   in
-  (match lint_errors with
-  | first :: _ ->
-    Session.transition session
-      (Session.Aborted
-         (Printf.sprintf "lint: [%s] %s"
-            (Trust_analyze.Diagnostic.code_id first.Trust_analyze.Diagnostic.code)
-            first.Trust_analyze.Diagnostic.message));
+  (match lint_reason with
+  | Some reason ->
+    Session.transition session (Session.Aborted reason);
     (* an admission slot is never free, even to reject *)
     session.Session.ticks <- 1;
     record rec_opt (fun r ->
         Metrics.incr r.lint_rejected;
         Metrics.incr r.aborted)
-  | [] ->
+  | None ->
     let verdict, outcome =
       (* Which of two racing sessions takes the miss for a shared shape
          depends on domain scheduling, so hit/miss is volatile; the

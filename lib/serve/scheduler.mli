@@ -38,11 +38,17 @@ type config = {
   drop_rate : float;  (** per-delivery drop probability on first runs *)
   retry : bool;  (** retry-once for drop-stalled sessions *)
   seed : int64;  (** fault-injection stream seed *)
+  compiled : bool;
+      (** execute cached compiled plans on the allocation-free
+          {!Trust_sim.Hotpath} runtime (default); [false] forces the
+          interpreted engine everywhere — the reference the benchmarks
+          and the property tests compare against. Traced sessions
+          always run interpreted so spans stay complete. *)
 }
 
 val default_config : config
 (** 8 lanes, 1 job, deadline 1000, latency 1, 100k events, no drops,
-    retry on, seed 1. *)
+    retry on, seed 1, compiled path on. *)
 
 type stats = {
   makespan : int;  (** max lane clock after the batch, >= 1 per session *)

@@ -20,6 +20,7 @@ type config = {
   retry : bool;
   defect_every : int option;
   trace : bool;
+  compiled : bool;  (* execute cached plans on the allocation-free runtime *)
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     retry = true;
     defect_every = None;
     trace = false;
+    compiled = true;
   }
 
 type outcome = {
@@ -105,6 +107,7 @@ let run (config : config) =
       drop_rate = config.drop_rate;
       retry = config.retry;
       seed = Shape.mix64 config.seed;
+      compiled = config.compiled;
     }
   in
   let obs = Trust_obs.Obs.batch ~enabled:config.trace ~sessions:config.sessions in

@@ -30,11 +30,15 @@ type config = {
   trace : bool;
       (** record a per-session {!Trust_obs.Obs} trace for the whole
           batch; off by default — the null sink costs nothing *)
+  compiled : bool;
+      (** run cached compiled plans on the allocation-free
+          {!Trust_sim.Hotpath} runtime (default); [false] benchmarks
+          the interpreted reference path *)
 }
 
 val default : config
 (** 100 sessions, seed 42, default mix, 8 lanes, 1 job, Lockstep,
-    rescue on. *)
+    rescue on, compiled path on. *)
 
 type outcome = {
   config : config;
@@ -62,6 +66,13 @@ type exposure_tally = {
 val exposure_tally : Session.t list -> exposure_tally
 (** Batch-level aggregate of the per-session {!Trust_sim.Exposure}
     ledgers maintained by the scheduler. *)
+
+val sessions_of_config : config -> Session.t list
+(** The deterministic workload for a config: [sessions] random
+    transactions from [mix] seeded by [seed], as fresh session records
+    (with defectors injected per [defect_every]). {!run} generates its
+    own; exposed so benchmarks can replay the identical workload
+    against a pre-warmed cache. *)
 
 val run : config -> outcome
 

@@ -2,86 +2,13 @@ open Exchange
 
 let cacheable spec = Party.Map.is_empty spec.Spec.overrides
 
-(* Every variable-length field is length-prefixed so the encoding is
-   injective: no choice of party or deal names can make two different
-   specs collide. *)
-let enc_string buf s =
-  Buffer.add_string buf (string_of_int (String.length s));
-  Buffer.add_char buf ':';
-  Buffer.add_string buf s
-
-let enc_party buf p =
-  (match Party.role p with
-  | Some Party.Consumer -> Buffer.add_char buf 'C'
-  | Some Party.Producer -> Buffer.add_char buf 'P'
-  | Some Party.Broker -> Buffer.add_char buf 'B'
-  | None -> Buffer.add_char buf 'T');
-  enc_string buf (Party.name p)
-
-let enc_asset buf = function
-  | Asset.Money m ->
-    Buffer.add_char buf 'm';
-    Buffer.add_string buf (string_of_int m)
-  | Asset.Document d ->
-    Buffer.add_char buf 'd';
-    enc_string buf d
-
-let enc_ref buf { Spec.deal; side } =
-  enc_string buf deal;
-  Buffer.add_char buf (match side with Spec.Left -> 'L' | Spec.Right -> 'R')
-
-let encode spec =
-  let buf = Buffer.create 256 in
-  Buffer.add_string buf "deals[";
-  List.iter
-    (fun d ->
-      Buffer.add_char buf '(';
-      enc_string buf d.Spec.id;
-      enc_party buf d.Spec.left;
-      enc_party buf d.Spec.right;
-      enc_party buf d.Spec.via;
-      enc_asset buf d.Spec.left_sends;
-      enc_asset buf d.Spec.right_sends;
-      (match d.Spec.deadline with
-      | None -> Buffer.add_char buf '-'
-      | Some n -> Buffer.add_string buf (string_of_int n));
-      Buffer.add_char buf ')')
-    spec.Spec.deals;
-  Buffer.add_string buf "]personas[";
-  (* Map bindings come out in key order, so insertion order cannot leak
-     into the encoding. *)
-  List.iter
-    (fun (trusted, principal) ->
-      Buffer.add_char buf '(';
-      enc_party buf trusted;
-      enc_party buf principal;
-      Buffer.add_char buf ')')
-    (Party.Map.bindings spec.Spec.personas);
-  Buffer.add_string buf "]prios[";
-  List.iter
-    (fun (owner, cref) ->
-      Buffer.add_char buf '(';
-      enc_party buf owner;
-      enc_ref buf cref;
-      Buffer.add_char buf ')')
-    spec.Spec.priorities;
-  Buffer.add_string buf "]splits[";
-  List.iter
-    (fun (owner, cref) ->
-      Buffer.add_char buf '(';
-      enc_party buf owner;
-      enc_ref buf cref;
-      Buffer.add_char buf ')')
-    spec.Spec.splits;
-  Buffer.add_string buf "]ovr[";
-  List.iter
-    (fun (party, _) ->
-      Buffer.add_char buf '(';
-      enc_party buf party;
-      Buffer.add_char buf ')')
-    (Party.Map.bindings spec.Spec.overrides);
-  Buffer.add_string buf "]";
-  Buffer.contents buf
+(* The canonical encoding and its FNV-1a hash are memoized inside
+   [Spec.t] itself (computed at most once per constructed spec), so a
+   cache lookup no longer re-canonicalizes the spec — these are thin
+   accessors kept for compatibility. *)
+let encode = Spec.shape_key
+let hash = Spec.shape_hash
+let hash_hex = Spec.shape_hex
 
 let fnv1a s =
   let prime = 0x100000001B3L in
@@ -92,9 +19,6 @@ let fnv1a s =
       h := Int64.mul !h prime)
     s;
   !h
-
-let hash spec = fnv1a (encode spec)
-let hash_hex spec = Printf.sprintf "%016Lx" (hash spec)
 
 let mix64 z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in

@@ -1,0 +1,57 @@
+(** Allocation-free execution of compiled plans.
+
+    The serve-path twin of [Engine.run] + [Exposure.of_result] +
+    [Audit.audit]: runs a [Trust_core.Compile.t] instruction plan
+    against per-domain scratch arrays, allocating no protocol
+    structures per session. Semantics replicate the interpreted
+    modules exactly — [Harness.behaviors_for] remains the oracle, and
+    test_hotpath property-tests the equivalence over random specs and
+    defection batteries. *)
+
+open Exchange
+
+type config = {
+  latency : int;
+  deadline : int;
+  max_events : int;
+  drop : (int -> bool) option;
+      (** keyed by performed-action sequence number, like
+          [Engine.config.drop] *)
+}
+
+val default_config : config
+(** Matches [Engine.default_config]: latency 1, deadline 1000,
+    100_000 events, no drops. *)
+
+type summary = {
+  duration : int;  (** latest delivery tick, 0 when nothing was delivered *)
+  events : int;
+  deliveries : int;
+  stalled : int;  (** parked transfers never retried successfully *)
+  all_preferred : bool;  (** the audit verdict: Settled when no stalls *)
+  preferred : bool array;  (** per judged party, audit order *)
+  peak_risk : int array;  (** per principal slot, [Spec.principals] order *)
+  risk_ticks : int array;
+  violations : int;  (** §5 bound violations among honest principals *)
+}
+
+val exec :
+  ?config:config -> ?defectors:(Exchange.Party.t * Harness.defection) list ->
+  Trust_core.Compile.t -> summary
+(** Run the plan and fold exposure + audit over the result, without
+    materializing engine structures. Deterministic for a fixed
+    (plan, config, defectors). *)
+
+val total_peak_risk : summary -> int
+(** Sum of per-principal peaks — equals [Exposure.peak_risk] of the
+    interpreted run. *)
+
+val total_risk_ticks : summary -> int
+
+val to_result :
+  ?config:config -> ?defectors:(Party.t * Harness.defection) list ->
+  Trust_core.Compile.t -> Engine.result
+(** Run the plan and materialize a full [Engine.result] (state, log,
+    holdings, stalls) — byte-equivalent to the interpreted engine. Used
+    by tests and anywhere a caller needs the structured result rather
+    than the summary. *)

@@ -1,0 +1,254 @@
+(* The compiled hot path against its interpreted oracle.
+
+   [Harness.behaviors_for] + [Engine.run] + [Exposure.of_result] +
+   [Audit.audit] remain the reference semantics; [Trust_core.Compile] +
+   [Trust_sim.Hotpath] must replicate them exactly. These property
+   tests draw random marketplace transactions and compare the two paths
+   — delivery logs, final holdings, stalls, audit verdicts, per-party
+   exposure peaks and risk ticks — under honest runs, fault injection,
+   defection batteries and tight deadlines, in both synthesis modes.
+
+   The allocation test pins the other half of the contract: a cache-hit
+   session on the serve path stays within a fixed minor-heap budget. *)
+
+open Exchange
+module Gen = Workload.Gen
+module Prng = Workload.Prng
+module Harness = Trust_sim.Harness
+module Engine = Trust_sim.Engine
+module Exposure = Trust_sim.Exposure
+module Audit = Trust_sim.Audit
+module Hotpath = Trust_sim.Hotpath
+module Cache = Trust_serve.Cache
+module Scheduler = Trust_serve.Scheduler
+module Session = Trust_serve.Session
+
+let spec_count = 200
+
+let mix =
+  {
+    Gen.sale_weight = 3;
+    chain_weight = 3;
+    max_chain = 3;
+    fan_weight = 2;
+    max_fan = 3;
+    bundle_weight = 2;
+    max_bundle = 3;
+    trust_density = 0.3;
+  }
+
+let policies =
+  [
+    { Cache.default_policy with Cache.mode = Harness.Lockstep; shared = false };
+    { Cache.default_policy with Cache.mode = Harness.Distributed; shared = true };
+  ]
+
+(* A deterministic drop schedule exercising losses and the retry of
+   parked transfers. *)
+let drop_every_third seq = seq mod 3 = 1
+
+let engine_config ?(deadline = 1000) ?drops () =
+  {
+    Engine.default_config with
+    Engine.deadline;
+    drop = Option.map (fun f -> fun seq (_ : Action.t) -> f seq) drops;
+  }
+
+let hot_config ?(deadline = 1000) ?drops () =
+  { Hotpath.default_config with Hotpath.deadline; drop = drops }
+
+(* The defection battery for a split spec: honest, a silent first
+   principal, and a partial (keep 1) principal paired with a silent
+   one when the spec is wide enough. *)
+let batteries spec =
+  let principals = Spec.principals spec in
+  [ [] ]
+  @ (match principals with p :: _ -> [ [ (p, Harness.Silent) ] ] | [] -> [])
+  @
+  match principals with
+  | a :: b :: _ -> [ [ (a, Harness.Partial 1); (b, Harness.Silent) ] ]
+  | [ a ] -> [ [ (a, Harness.Partial 0) ] ]
+  | [] -> []
+
+let run_interpreted (entry : Cache.entry) policy ~config ~defectors =
+  let behaviors =
+    Harness.behaviors_for ~shared:policy.Cache.shared ?plan:entry.Cache.plan ~defectors
+      ~mode:policy.Cache.mode entry.Cache.split_spec entry.Cache.protocol
+  in
+  let cast =
+    {
+      Harness.spec = entry.Cache.split_spec;
+      plan = entry.Cache.plan;
+      mode = policy.Cache.mode;
+      protocol = entry.Cache.protocol;
+      behaviors;
+    }
+  in
+  Harness.run_cast ~config cast
+
+let equal_log =
+  List.equal (fun (a : Engine.delivery) (b : Engine.delivery) ->
+      a.Engine.at = b.Engine.at && Action.equal a.Engine.action b.Engine.action)
+
+let equal_holdings =
+  List.equal (fun (p1, b1) (p2, b2) -> Party.equal p1 p2 && Asset.Bag.equal b1 b2)
+
+let equal_stalled =
+  List.equal (fun (p1, a1) (p2, a2) -> Party.equal p1 p2 && Action.equal a1 a2)
+
+let check_result ~ctx (interp : Engine.result) (compiled : Engine.result) =
+  Alcotest.(check bool) (ctx ^ ": delivery log") true (equal_log interp.Engine.log compiled.Engine.log);
+  Alcotest.(check bool) (ctx ^ ": final state") true (State.equal interp.Engine.state compiled.Engine.state);
+  Alcotest.(check bool)
+    (ctx ^ ": holdings") true
+    (equal_holdings interp.Engine.holdings compiled.Engine.holdings);
+  Alcotest.(check bool)
+    (ctx ^ ": stalled") true
+    (equal_stalled interp.Engine.stalled compiled.Engine.stalled);
+  Alcotest.(check int) (ctx ^ ": events") interp.Engine.events compiled.Engine.events
+
+let check_summary ~ctx (entry : Cache.entry) ~defectors (interp : Engine.result)
+    (summary : Hotpath.summary) =
+  let duration =
+    List.fold_left (fun acc (d : Engine.delivery) -> max acc d.Engine.at) 0 interp.Engine.log
+  in
+  Alcotest.(check int) (ctx ^ ": duration") duration summary.Hotpath.duration;
+  Alcotest.(check int) (ctx ^ ": events") interp.Engine.events summary.Hotpath.events;
+  Alcotest.(check int)
+    (ctx ^ ": deliveries") (List.length interp.Engine.log) summary.Hotpath.deliveries;
+  Alcotest.(check int)
+    (ctx ^ ": stalled") (List.length interp.Engine.stalled) summary.Hotpath.stalled;
+  let report =
+    Audit.audit entry.Cache.split_spec ?plan:entry.Cache.plan
+      ~defectors:(List.map fst defectors) interp
+  in
+  Alcotest.(check bool) (ctx ^ ": all_preferred") report.Audit.all_preferred
+    summary.Hotpath.all_preferred;
+  Alcotest.(check (list bool))
+    (ctx ^ ": per-party verdicts")
+    (List.map (fun v -> v.Audit.preferred) report.Audit.verdicts)
+    (Array.to_list summary.Hotpath.preferred);
+  let exposure =
+    Exposure.of_result ?plan:entry.Cache.plan ~defectors:(List.map fst defectors)
+      entry.Cache.split_spec interp
+  in
+  Alcotest.(check (list int))
+    (ctx ^ ": per-party peak risk")
+    (List.map (fun p -> p.Exposure.peak_at_risk) exposure.Exposure.parties)
+    (Array.to_list summary.Hotpath.peak_risk);
+  Alcotest.(check (list int))
+    (ctx ^ ": per-party risk ticks")
+    (List.map (fun p -> p.Exposure.risk_ticks) exposure.Exposure.parties)
+    (Array.to_list summary.Hotpath.risk_ticks);
+  Alcotest.(check int)
+    (ctx ^ ": violations")
+    (List.length exposure.Exposure.violations)
+    summary.Hotpath.violations;
+  Alcotest.(check int)
+    (ctx ^ ": total peak")
+    (Exposure.total_peak_at_risk exposure)
+    (Hotpath.total_peak_risk summary);
+  Alcotest.(check int)
+    (ctx ^ ": total risk ticks")
+    (Exposure.total_risk_ticks exposure)
+    (Hotpath.total_risk_ticks summary)
+
+let check_spec ~ctx policy spec =
+  match Cache.fresh policy spec with
+  | Error _ -> () (* infeasible and unrescued: nothing to execute *)
+  | Ok entry ->
+    let plan =
+      match entry.Cache.compiled with
+      | Some plan -> plan
+      | None -> Alcotest.failf "%s: cacheable spec missing a compiled plan" ctx
+    in
+    let variants =
+      [ ("honest", None, 1000); ("drops", Some drop_every_third, 1000); ("tight", None, 7) ]
+    in
+    List.iter
+      (fun defectors ->
+        List.iter
+          (fun (label, drops, deadline) ->
+            let ctx =
+              Printf.sprintf "%s %s defectors=%d" ctx label (List.length defectors)
+            in
+            let interp =
+              run_interpreted entry policy ~config:(engine_config ~deadline ?drops ())
+                ~defectors
+            in
+            let compiled =
+              Hotpath.to_result ~config:(hot_config ~deadline ?drops ()) ~defectors plan
+            in
+            check_result ~ctx interp compiled;
+            let summary =
+              Hotpath.exec ~config:(hot_config ~deadline ?drops ()) ~defectors plan
+            in
+            check_summary ~ctx entry ~defectors interp summary)
+          variants)
+      (batteries entry.Cache.split_spec)
+
+let test_random_specs () =
+  let prng = Prng.create 0xC0FFEE_L in
+  for i = 1 to spec_count do
+    let spec = Gen.random_transaction prng mix in
+    List.iteri
+      (fun j policy -> check_spec ~ctx:(Printf.sprintf "spec %d policy %d" i j) policy spec)
+      policies
+  done
+
+let test_worked_examples () =
+  let specs =
+    [
+      Workload.Scenarios.simple_sale;
+      Workload.Scenarios.example1;
+      Workload.Scenarios.example2_source_trusts_broker;
+      Gen.chain ~brokers:3;
+      Gen.bundle ~docs:3;
+      Gen.fan ~prices:[ Asset.dollars 10; Asset.dollars 20; Asset.dollars 30 ];
+    ]
+  in
+  List.iteri
+    (fun i spec ->
+      List.iteri
+        (fun j policy ->
+          check_spec ~ctx:(Printf.sprintf "example %d policy %d" i j) policy spec)
+        policies)
+    specs
+
+(* Allocation regression: a cache-hit session on the serve path must
+   stay within a fixed minor-heap budget. The interpreted path spent
+   ~8.5k minor words/session rebuilding behaviours, bags and ledgers;
+   the compiled path's budget is 10x lower. A regression that
+   reintroduces per-session protocol allocation fails this test. *)
+let allocation_budget_words = 853.
+
+let test_allocation_budget () =
+  let cache = Cache.create Cache.default_policy in
+  let cfg = { Scheduler.default_config with Scheduler.drop_rate = 0. } in
+  let spec = Gen.chain ~brokers:2 in
+  let run id = Scheduler.process_one cfg cache (Session.make ~id spec) in
+  (* warm: the miss synthesizes and compiles; later sessions hit *)
+  for id = 0 to 2 do
+    run id
+  done;
+  let rounds = 200 in
+  let before = Gc.minor_words () in
+  for id = 3 to 2 + rounds do
+    run id
+  done;
+  let per_session = (Gc.minor_words () -. before) /. float_of_int rounds in
+  if per_session > allocation_budget_words then
+    Alcotest.failf "cache-hit session allocated %.0f minor words (budget %.0f)" per_session
+      allocation_budget_words
+
+let () =
+  Alcotest.run "hotpath"
+    [
+      ( "parity",
+        [
+          Alcotest.test_case "worked examples" `Quick test_worked_examples;
+          Alcotest.test_case "random specs" `Quick test_random_specs;
+        ] );
+      ( "allocation",
+        [ Alcotest.test_case "cache-hit budget" `Quick test_allocation_budget ] );
+    ]
