@@ -927,12 +927,130 @@ let trace_diff_cmd =
     (Cmd.info "trace-diff" ~man ~doc:"Structurally diff two JSONL trace exports.")
     Term.(const run $ left $ right $ out)
 
+(* trace-decode *)
+
+let trace_decode_cmd =
+  let module Ring = Trust_obs.Ring in
+  let module Client = Trust_daemon.Client in
+  let run file connect timeout format out =
+    let format = trace_format_or_die format in
+    let dump =
+      match (connect, file) with
+      | Some _, Some _ ->
+        prerr_endline "trustseq: trace-decode takes a dump FILE or --connect, not both";
+        exit 2
+      | None, None ->
+        prerr_endline "trustseq: trace-decode needs a dump FILE or --connect ADDR";
+        exit 2
+      | Some addr, None -> (
+        match Client.connect ~timeout addr with
+        | Error e ->
+          prerr_endline ("trustseq: " ^ e);
+          exit 2
+        | Ok client ->
+          let dump = Client.trace client ~id:1 in
+          Client.close client;
+          (match dump with
+          | Ok dump -> dump
+          | Error e ->
+            prerr_endline ("trustseq: " ^ e);
+            exit 2))
+      | None, Some "-" -> In_channel.input_all stdin
+      | None, Some path -> (
+        try In_channel.with_open_bin path In_channel.input_all
+        with Sys_error m ->
+          prerr_endline ("trustseq: " ^ m);
+          exit 2)
+    in
+    match Ring.decode dump with
+    | Error m ->
+      prerr_endline ("trustseq: " ^ m);
+      exit 2
+    | Ok (sessions, stats) ->
+      land_output out (Ring.export ~producer:("trustseq " ^ version) format sessions);
+      (* the keep tally is the operator's first question — why is each
+         of these sessions here? — so it rides on stderr with the rest
+         of the annotations *)
+      let tally = Hashtbl.create 8 in
+      List.iter
+        (fun (s : Ring.session) ->
+          let k = Ring.keep_label s.Ring.s_keep in
+          Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k)))
+        sessions;
+      let kept =
+        String.concat ", "
+          (List.filter_map
+             (fun k ->
+               Option.map (Printf.sprintf "%s %d" k) (Hashtbl.find_opt tally k))
+             [ "sampled"; "violation"; "retry"; "expiry"; "lint" ])
+      in
+      Printf.eprintf "trace-decode: %d sessions (%s) from %d shards, %d records written, %d dropped\n"
+        stats.Ring.d_sessions
+        (if kept = "" then "none kept" else kept)
+        stats.Ring.d_shards stats.Ring.d_written stats.Ring.d_dropped;
+      0
+  in
+  let file =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Binary ring dump ('-' for stdin) — from $(b,batch --ring-dump-out) or a daemon's \
+             $(b,trace) wire frame.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Drain a live daemon's trace ring instead of reading a file: $(b,unix:PATH), \
+             $(b,tcp:HOST:PORT), or a bare socket path. Each drain returns the records kept \
+             since the previous one.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Receive timeout for --connect.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the rendered trace to $(docv) (default stdout).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Decodes the compact binary record stream of the production trace ring \
+         (docs/OBS.md, \"Production tracing\") and re-renders it through the standard \
+         exporters — the output is byte-compatible with what $(b,batch --trace) or \
+         $(b,trace) would have produced for the same sessions, so it pipes straight into \
+         $(b,trace-stats --from-trace -) and $(b,trace-diff). Sessions decode sorted by id \
+         (a canonical order whatever --jobs produced them); a session whose start record \
+         was evicted on wrap is skipped whole — dumps always parse as the newest complete \
+         suffix of what was recorded.";
+      `P
+        "A one-line summary lands on stderr: session count by keep reason (head-sampled vs \
+         tail-promoted violation/retry/expiry/lint), shard count, and the ring's lifetime \
+         written/dropped record counters.";
+      `S Manpage.s_exit_status;
+      `P "0 — decoded and rendered.";
+      `P "2 — unreadable input, a corrupt dump, connection failure, or bad flags.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "trace-decode" ~man
+       ~doc:"Decode a binary trace-ring dump (file or live daemon) into any trace export format.")
+    Term.(const run $ file $ connect $ timeout $ trace_format_arg ~default:"jsonl" "the decoded trace" $ out)
+
 (* batch *)
 
 let batch_cmd =
   let run sessions seed concurrency jobs mode density drop_rate defect_every no_rescue verify
-      no_compiled json out trace_out trace_format debug_gauges =
+      no_compiled json out trace_out trace_format trace_sample trace_ring ring_out debug_gauges =
     let module Service = Trust_serve.Service in
+    let module Ring = Trust_obs.Ring in
     let trace_format = trace_format_or_die trace_format in
     if sessions < 0 then (
       prerr_endline "trustseq: --sessions must be non-negative";
@@ -960,6 +1078,22 @@ let batch_cmd =
         "trustseq: at most one output may claim stdout: batch --trace - needs --out FILE";
       exit 2
     | _ -> ());
+    if trace_sample < 0. || trace_sample > 1. then (
+      prerr_endline "trustseq: --trace-sample must lie in [0, 1]";
+      exit 2);
+    if trace_ring < 0 then (
+      prerr_endline "trustseq: --trace-ring must be non-negative";
+      exit 2);
+    (* a binary ring dump is never a terminal artifact — refuse '-' *)
+    (match ring_out with
+    | Some "-" ->
+      prerr_endline "trustseq: --ring-dump-out needs a file path, not '-'";
+      exit 2
+    | _ -> ());
+    (* asking for a dump implies a ring; default to 1 MiB like serve *)
+    let trace_ring =
+      match ring_out with Some _ when trace_ring = 0 -> 1 lsl 20 | _ -> trace_ring
+    in
     let config =
       {
         Service.default with
@@ -975,6 +1109,8 @@ let batch_cmd =
         defect_every;
         trace = trace_out <> None;
         compiled = not no_compiled;
+        sample_rate = trace_sample;
+        trace_ring;
       }
     in
     let outcome = Service.run config in
@@ -984,6 +1120,13 @@ let batch_cmd =
     Option.iter
       (fun path -> write_trace trace_format path (Obs.batch_traces outcome.Service.obs))
       trace_out;
+    (match (ring_out, outcome.Service.ring) with
+    | Some path, Some ring -> (
+      try Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (Ring.dump ring))
+      with Sys_error m ->
+        prerr_endline ("trustseq: " ^ m);
+        exit 2)
+    | _ -> ());
     (* wall-clock throughput goes to stderr so stdout stays a
        byte-identical snapshot across runs with the same seed, at any
        --jobs; the scheduling-dependent pool gauges are noisier still
@@ -1082,6 +1225,34 @@ let batch_cmd =
              stdout, only with --out FILE). Span sets are byte-identical at any --jobs (see \
              docs/OBS.md).")
   in
+  let trace_sample =
+    Arg.(
+      value & opt float 1.0
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:
+            "Head-sample this fraction of sessions into live traces (deterministic per seed and \
+             session id; the sampled set at rate r is a subset of the set at any higher rate). \
+             Unsampled sessions run untraced on the compiled fast path; tail keep rules still \
+             promote any session with an exposure violation, retry, expiry or lint refusal. \
+             Applies when --trace or a ring is active.")
+  in
+  let trace_ring =
+    Arg.(
+      value & opt int 0
+      & info [ "trace-ring" ] ~docv:"BYTES"
+          ~doc:
+            "Also commit kept sessions into a binary ring sink of $(docv) capacity (one shard \
+             per worker domain). 0 (default) disables the ring; see --ring-dump-out.")
+  in
+  let ring_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ring-dump-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the binary ring dump to $(docv) after the batch (implies a 1 MiB ring if \
+             --trace-ring is unset). Decode it with $(b,trustseq trace-decode).")
+  in
   let debug_gauges =
     Arg.(
       value & flag
@@ -1099,7 +1270,8 @@ let batch_cmd =
     Term.(
       const run $ sessions $ seed $ concurrency $ jobs $ mode $ density $ drop_rate $ defect_every
       $ no_rescue $ verify $ no_compiled $ json $ out $ trace_out
-      $ trace_format_arg ~default:"jsonl" "--trace" $ debug_gauges)
+      $ trace_format_arg ~default:"jsonl" "--trace" $ trace_sample $ trace_ring $ ring_out
+      $ debug_gauges)
 
 (* serve / submit / loadgen — the daemon and its clients *)
 
@@ -1127,7 +1299,7 @@ let connect_arg =
 let serve_cmd =
   let module Server = Trust_daemon.Server in
   let run socket tcp max_pending cache_capacity epoch_every max_idle deadline latency mode
-      no_rescue verify metrics_out trace_out =
+      no_rescue verify metrics_out trace_out trace_ring trace_sample =
     if socket = None && tcp = None then begin
       prerr_endline "trustseq: serve needs --socket PATH and/or --tcp HOST:PORT";
       exit 2
@@ -1152,6 +1324,12 @@ let serve_cmd =
       prerr_endline "trustseq: serve --trace needs a file path, not '-'";
       exit 2
     | _ -> ());
+    if trace_ring < 0 then (
+      prerr_endline "trustseq: --trace-ring must be non-negative";
+      exit 2);
+    if trace_sample < 0. || trace_sample > 1. then (
+      prerr_endline "trustseq: --trace-sample must lie in [0, 1]";
+      exit 2);
     let config =
       {
         Server.default with
@@ -1176,6 +1354,8 @@ let serve_cmd =
         max_idle_epochs = max_idle;
         snapshot_path = metrics_out;
         trace_path = trace_out;
+        trace_ring;
+        trace_sample;
         banner = "trustseq " ^ version;
       }
     in
@@ -1273,7 +1453,30 @@ let serve_cmd =
       value
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
-          ~doc:"Append one JSONL trace per request (a daemon.request root span) to $(docv).")
+          ~doc:
+            "Append every kept request trace (head-sampled per --trace-sample, plus every \
+             tail-promoted anomaly) as JSONL (a daemon.request root span) to $(docv).")
+  in
+  let trace_ring =
+    Arg.(
+      value
+      & opt int Server.default.Server.trace_ring
+      & info [ "trace-ring" ] ~docv:"BYTES"
+          ~doc:
+            "Capacity of the live binary trace ring, drained by the $(b,trace) wire request \
+             (and $(b,trustseq trace-decode --connect)). Default 1 MiB; 0 disables the ring — \
+             and with no --trace file, tracing entirely.")
+  in
+  let trace_sample =
+    Arg.(
+      value
+      & opt float Server.default.Server.trace_sample
+      & info [ "trace-sample" ] ~docv:"RATE"
+          ~doc:
+            "Head-sample this fraction of requests into live traces (deterministic in the \
+             scheduler seed and session id). Unsampled requests run untraced on the compiled \
+             fast path; tail keep rules still promote every session that closes with an \
+             exposure violation, retry, expiry or lint refusal. Default 0.01.")
   in
   let man =
     [
@@ -1285,6 +1488,12 @@ let serve_cmd =
          with the session's exposure tallies. Admission control answers $(b,busy) past \
          --max-pending; the protocol cache ages by epochs so the Zipf long tail is swept while \
          heavy hitters stay warm.";
+      `P
+        "Tracing is always on at production cost: 1% of requests are head-sampled into a 1 MiB \
+         binary ring (tail keep rules promote every anomalous session regardless of the rate), \
+         drained live over the wire by $(b,trustseq trace-decode --connect ADDR). Tune with \
+         --trace-ring / --trace-sample; add --trace FILE for a durable JSONL sink of every \
+         kept session.";
       `P
         "SIGTERM or SIGINT drains gracefully: stop accepting, finish everything admitted, \
          flush responses, write the final --metrics-out snapshot, exit 0.";
@@ -1301,7 +1510,7 @@ let serve_cmd =
           protocol cache, graceful drain.")
     Term.(
       const run $ socket $ tcp $ max_pending $ cache_capacity $ epoch_every $ max_idle $ deadline
-      $ latency $ mode $ no_rescue $ verify $ metrics_out $ trace_out)
+      $ latency $ mode $ no_rescue $ verify $ metrics_out $ trace_out $ trace_ring $ trace_sample)
 
 let submit_cmd =
   let module Client = Trust_daemon.Client in
@@ -1513,6 +1722,6 @@ let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
     (Cmd.info "trustseq" ~version ~doc)
-    [ check_cmd; lint_cmd; analyze_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; serve_cmd; submit_cmd; loadgen_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd ]
+    [ check_cmd; lint_cmd; analyze_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; serve_cmd; submit_cmd; loadgen_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd; trace_decode_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -76,6 +76,15 @@ let request t req =
 
 let submit t ~id ~spec = request t (Wire.Submit { id; spec })
 
+(* Drain the daemon's trace ring: unwrap the text frame and the base64
+   transport, returning raw binary dump bytes ready for Ring.decode. *)
+let trace t ~id =
+  match request t (Wire.Trace { id }) with
+  | Error e -> Error e
+  | Ok (Wire.Text { kind = "ring"; text; _ }) -> Trust_obs.B64.decode text
+  | Ok (Wire.Refused { reason; _ }) -> Error ("refused: " ^ reason)
+  | Ok _ -> Error "trace: unexpected response"
+
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let connect ?(timeout = 10.) addr =

@@ -22,4 +22,9 @@ val submit : t -> id:int -> spec:string -> (Wire.response, string) result
 (** [request] with a [Submit]; the response is [Result], [Busy], or
     [Refused]. *)
 
+val trace : t -> id:int -> (string, string) result
+(** [request] with a [Trace], unwrapping the [text]/["ring"] frame and
+    its base64 transport: the raw binary ring dump accumulated since
+    the previous drain, ready for {!Trust_obs.Ring.decode}. *)
+
 val close : t -> unit

@@ -3,6 +3,8 @@ module Metrics = Trust_serve.Metrics
 module Scheduler = Trust_serve.Scheduler
 module Session = Trust_serve.Session
 module Obs = Trust_obs.Obs
+module Ring = Trust_obs.Ring
+module B64 = Trust_obs.B64
 
 type config = {
   unix_path : string option;
@@ -16,6 +18,8 @@ type config = {
   max_idle_epochs : int;
   snapshot_path : string option;
   trace_path : string option;
+  trace_ring : int;
+  trace_sample : float;
   banner : string;
 }
 
@@ -32,6 +36,11 @@ let default =
     max_idle_epochs = 2;
     snapshot_path = None;
     trace_path = None;
+    (* tracing is on by default precisely because it is priced for
+       production: a 1 MiB ring and 1% head sampling, with tail keeps
+       promoting every anomalous session regardless of the rate *)
+    trace_ring = 1 lsl 20;
+    trace_sample = 0.01;
     banner = "trustseq";
   }
 
@@ -73,6 +82,7 @@ type srv = {
   cache : Cache.t;
   pending : (conn * int * string) Admission.t;
   trace_ch : out_channel option;
+  ring : Ring.t option;
   (* tallies (the daemon loop is single-threaded) *)
   mutable next_session : int;
   mutable served : int;
@@ -90,6 +100,9 @@ type srv = {
   conns_c : Metrics.counter;
   epochs_c : Metrics.counter;
   aged_c : Metrics.counter;
+  obs_sampled_c : Metrics.counter;
+  obs_tail_c : Metrics.counter;
+  obs_ring_dropped_c : Metrics.counter;
 }
 
 let send conn resp = Buffer.add_string conn.out (Frame.encode (Wire.encode_response resp))
@@ -136,7 +149,14 @@ let refresh_cache_gauges srv =
   Metrics.gauge srv.metrics ~help:"current protocol-cache epoch" "serve_cache_epoch"
     (float_of_int (Cache.epoch srv.cache));
   Metrics.gauge srv.metrics ~help:"resident protocol-cache entries" "serve_cache_size"
-    (float_of_int (Cache.size srv.cache))
+    (float_of_int (Cache.size srv.cache));
+  (* deterministic here, unlike the batch scheduler's volatile variant:
+     the select loop commits sessions in wire order on one thread *)
+  Option.iter
+    (fun ring ->
+      Metrics.gauge srv.metrics ~help:"trace-ring live bytes" "obs_ring_bytes"
+        (float_of_int (Ring.bytes_resident ring)))
+    srv.ring
 
 let epoch_tick srv =
   let swept = Cache.advance_epoch ~max_idle:srv.cfg.max_idle_epochs srv.cache in
@@ -164,55 +184,108 @@ let zero_result ~id ~status ~exit_code ~reason =
       reason;
     }
 
+(* One traced pass over a submission: the [daemon.request] root span,
+   elaboration, and the full session lifecycle. Shared between the
+   sampled path (live trace from the start) and the tail-promotion
+   replay (deterministic re-run with a live sink after the fast
+   untraced pass turned out anomalous) — so both produce the same span
+   tree. [record] is false on replays: the first pass already counted
+   everything. *)
+let traced_pass srv ~record ~session:n ~id ~spec obs session_out =
+  Obs.with_span obs ~phase:"daemon" "daemon.request" (fun root ->
+      if Obs.enabled obs then Obs.attr obs root "wire_id" (Obs.Int id);
+      match Trust_lang.Elaborate.from_string ~obs ~parent:root ~file:"<wire>" spec with
+      | Error e ->
+        if record then srv.aborted <- srv.aborted + 1;
+        zero_result ~id ~status:"error" ~exit_code:2 ~reason:(Some e)
+      | Ok parsed ->
+        let session = Session.make ~id:n parsed in
+        session_out := Some session;
+        if record then
+          Scheduler.process_one ~metrics:srv.metrics ~obs ~parent:root srv.cfg.scheduler
+            srv.cache session
+        else
+          Scheduler.process_one ~obs ~parent:root srv.cfg.scheduler srv.cache session;
+        let status, exit_code, reason =
+          match session.Session.status with
+          | Session.Settled ->
+            if record then srv.settled <- srv.settled + 1;
+            ("settled", 0, None)
+          | Session.Expired ->
+            if record then srv.expired <- srv.expired + 1;
+            ("expired", 1, None)
+          | Session.Aborted r ->
+            if record then srv.aborted <- srv.aborted + 1;
+            ("aborted", 1, Some r)
+          | Session.Queued | Session.Synthesizing | Session.Running ->
+            ("error", 2, Some "internal: session did not reach a terminal state")
+        in
+        Wire.Result
+          {
+            id;
+            status;
+            exit_code;
+            cache_hit = session.Session.cache_hit;
+            ticks = session.Session.ticks;
+            events = session.Session.events;
+            attempts = session.Session.attempts;
+            exposure_peak = session.Session.exposure_peak;
+            exposure_ticks = session.Session.exposure_ticks;
+            exposure_violations = session.Session.exposure_violations;
+            reason;
+          })
+
 let process_submit srv conn ~id ~spec =
   let n = srv.next_session in
   srv.next_session <- n + 1;
-  let obs = match srv.trace_ch with None -> Obs.null | Some _ -> Obs.create ~session:n () in
-  let resp =
-    Obs.with_span obs ~phase:"daemon" "daemon.request" (fun root ->
-        if Obs.enabled obs then Obs.attr obs root "wire_id" (Obs.Int id);
-        match Trust_lang.Elaborate.from_string ~obs ~parent:root ~file:"<wire>" spec with
-        | Error e ->
-          srv.aborted <- srv.aborted + 1;
-          zero_result ~id ~status:"error" ~exit_code:2 ~reason:(Some e)
-        | Ok parsed ->
-          let session = Session.make ~id:n parsed in
-          Scheduler.process_one ~metrics:srv.metrics ~obs ~parent:root srv.cfg.scheduler
-            srv.cache session;
-          let status, exit_code, reason =
-            match session.Session.status with
-            | Session.Settled ->
-              srv.settled <- srv.settled + 1;
-              ("settled", 0, None)
-            | Session.Expired ->
-              srv.expired <- srv.expired + 1;
-              ("expired", 1, None)
-            | Session.Aborted r ->
-              srv.aborted <- srv.aborted + 1;
-              ("aborted", 1, Some r)
-            | Session.Queued | Session.Synthesizing | Session.Running ->
-              ("error", 2, Some "internal: session did not reach a terminal state")
-          in
-          Wire.Result
-            {
-              id;
-              status;
-              exit_code;
-              cache_hit = session.Session.cache_hit;
-              ticks = session.Session.ticks;
-              events = session.Session.events;
-              attempts = session.Session.attempts;
-              exposure_peak = session.Session.exposure_peak;
-              exposure_ticks = session.Session.exposure_ticks;
-              exposure_violations = session.Session.exposure_violations;
-              reason;
-            })
+  let tracing = srv.trace_ch <> None || srv.ring <> None in
+  let sampled =
+    tracing && Scheduler.session_sampled
+                 { srv.cfg.scheduler with Scheduler.sample_rate = srv.cfg.trace_sample }
+                 n
   in
-  Option.iter
-    (fun ch ->
-      output_string ch (Obs.export Obs.Jsonl [ obs ]);
-      flush ch)
-    srv.trace_ch;
+  let obs = if sampled then Obs.create ~session:n () else Obs.null in
+  let session_ref = ref None in
+  let resp = traced_pass srv ~record:true ~session:n ~id ~spec obs session_ref in
+  if sampled then Metrics.incr srv.obs_sampled_c;
+  let keep =
+    match !session_ref with
+    | Some session -> Scheduler.keep_decision ~sampled session
+    | None -> if sampled then Some Ring.Sampled else None
+    (* unsampled parse failures never make a session, so tail rules
+       cannot see them — the refused Result already tells the client *)
+  in
+  (match keep with
+  | None -> ()
+  | Some keep ->
+    let trace =
+      if Obs.enabled obs then obs
+      else begin
+        (* tail promotion: the request ran untraced on the compiled
+           path and closed with a violation, retry, expiry or lint
+           refusal. Re-run it with a live sink — spec, session id and
+           the (seed, session, seq) drop schedule are identical, so
+           the trace is what head sampling would have captured. *)
+        Metrics.incr srv.obs_tail_c;
+        let replay = Obs.create ~session:n () in
+        let discard = ref None in
+        ignore (traced_pass srv ~record:false ~session:n ~id ~spec replay discard : Wire.response);
+        replay
+      end
+    in
+    Option.iter
+      (fun ring ->
+        let evicted = Ring.record ring ~keep trace in
+        if evicted > 0 then Metrics.incr ~by:evicted srv.obs_ring_dropped_c)
+      srv.ring;
+    (* every kept session — head-sampled or tail-promoted — reaches
+       the durable sink at close; the ring is the live (evictable)
+       introspection window over the same set *)
+    Option.iter
+      (fun ch ->
+        output_string ch (Obs.export Obs.Jsonl [ trace ]);
+        flush ch)
+      srv.trace_ch);
   send conn resp;
   srv.served <- srv.served + 1;
   Metrics.incr srv.requests_c;
@@ -250,6 +323,13 @@ let handle_request srv conn = function
     send conn (Wire.Text { id; kind = "metrics"; text = Metrics.to_text srv.metrics })
   | Wire.Stats { id } ->
     send conn (Wire.Text { id; kind = "stats"; text = stats_json (snapshot srv) })
+  | Wire.Trace { id } ->
+    (* drain semantics: each trace request returns the records kept
+       since the previous one, base64ed over the ordinary text frame;
+       with the ring disabled the reply is a valid zero-shard dump *)
+    let dump = match srv.ring with Some ring -> Ring.drain ring | None -> Ring.empty_dump in
+    refresh_cache_gauges srv;
+    send conn (Wire.Text { id; kind = "ring"; text = B64.encode dump })
   | Wire.Submit { id; spec } ->
     if not (Admission.try_push srv.pending (conn, id, spec)) then begin
       srv.busy <- srv.busy + 1;
@@ -346,6 +426,8 @@ let run ?(stop = Atomic.make false) ?metrics cfg =
       cache = Cache.create ~capacity:cfg.cache_capacity cfg.policy;
       pending = Admission.create ~bound:cfg.max_pending ();
       trace_ch = Option.map open_out cfg.trace_path;
+      ring =
+        (if cfg.trace_ring > 0 then Some (Ring.create ~capacity:cfg.trace_ring ()) else None);
       next_session = 0;
       served = 0;
       settled = 0;
@@ -368,6 +450,15 @@ let run ?(stop = Atomic.make false) ?metrics cfg =
       aged_c =
         Metrics.counter metrics ~help:"cache entries swept by epoch aging"
           "serve_cache_aged_out_total";
+      obs_sampled_c =
+        Metrics.counter metrics ~help:"sessions head-sampled into a live trace"
+          "obs_sessions_sampled_total";
+      obs_tail_c =
+        Metrics.counter metrics ~help:"unsampled sessions promoted by a tail keep rule"
+          "obs_sessions_kept_tail_total";
+      obs_ring_dropped_c =
+        Metrics.counter metrics ~help:"trace-ring records evicted on wrap or refused oversized"
+          "obs_ring_records_dropped_total";
     }
   in
   refresh_cache_gauges srv;

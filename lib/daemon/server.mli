@@ -50,14 +50,30 @@ type config = {
   epoch_every : int;  (** served requests per cache epoch tick *)
   max_idle_epochs : int;  (** sweep entries idle this many epochs *)
   snapshot_path : string option;  (** metrics exposition, atomically rewritten *)
-  trace_path : string option;  (** per-request JSONL spans appended here *)
+  trace_path : string option;
+      (** durable trace sink: every {e kept} session (head-sampled or
+          tail-promoted) appended as JSONL at close *)
+  trace_ring : int;
+      (** live trace-ring capacity in bytes ([0] disables tracing
+          entirely when [trace_path] is also unset); drained by the
+          [trace] wire request *)
+  trace_sample : float;
+      (** head-sampling rate over wire session ids — deterministic per
+          {!Trust_obs.Sampler} under the scheduler seed. Unsampled
+          requests run untraced on the compiled fast path; at close the
+          tail keep rules ({!Trust_serve.Scheduler.tail_reason}) promote
+          any session with an exposure violation, retry, expiry or lint
+          refusal by re-running it with a live sink — determinism makes
+          the replayed trace what head sampling would have recorded. *)
   banner : string;  (** the [server] field of the welcome *)
 }
 
 val default : config
 (** No listeners (callers must set at least one), default policy and
     scheduler, capacity 4096, 64 pending, 1 MiB frames, epoch every
-    256 requests, sweep after 2 idle epochs. *)
+    256 requests, sweep after 2 idle epochs. Tracing is on by default
+    at production cost: a 1 MiB ring, 1% head sampling, tail keeps
+    always. *)
 
 type stats = {
   served : int;  (** submissions fully processed *)

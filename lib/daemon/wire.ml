@@ -8,6 +8,7 @@ type request =
   | Ping of { id : int }
   | Metrics of { id : int }
   | Stats of { id : int }
+  | Trace of { id : int }
 
 type response =
   | Welcome of { version : int; server : string }
@@ -36,6 +37,7 @@ let encode_request = function
   | Ping { id } -> Printf.sprintf {|{"type":"ping","id":%d}|} id
   | Metrics { id } -> Printf.sprintf {|{"type":"metrics","id":%d}|} id
   | Stats { id } -> Printf.sprintf {|{"type":"stats","id":%d}|} id
+  | Trace { id } -> Printf.sprintf {|{"type":"trace","id":%d}|} id
 
 let encode_response = function
   | Welcome { version; server } ->
@@ -81,6 +83,7 @@ let decode_request =
       ("ping", fun j -> Ok (Ping { id = req_id j }));
       ("metrics", fun j -> Ok (Metrics { id = req_id j }));
       ("stats", fun j -> Ok (Stats { id = req_id j }));
+      ("trace", fun j -> Ok (Trace { id = req_id j }));
     ]
 
 let decode_response =

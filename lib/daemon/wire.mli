@@ -20,6 +20,12 @@ type request =
   | Ping of { id : int }
   | Metrics of { id : int }  (** deterministic snapshot, exposition text *)
   | Stats of { id : int }  (** daemon counters as a JSON object *)
+  | Trace of { id : int }
+      (** drain the live trace ring: the response is a [text] frame of
+          kind ["ring"] whose body is the base64 of a binary ring dump
+          ({!Trust_obs.Ring.decode} parses it) — records accumulated
+          since the previous [trace] request. Additive in protocol
+          version 1: older clients simply never send it. *)
 
 type response =
   | Welcome of { version : int; server : string }

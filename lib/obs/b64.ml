@@ -1,0 +1,70 @@
+(* RFC 4648 base64, standard alphabet with padding — just enough to
+   move binary ring dumps through the JSON wire protocol without a new
+   dependency. Encoding is total; decoding validates strictly (length,
+   alphabet, padding placement) because wire input is untrusted. *)
+
+let alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let b = Buffer.create ((n + 2) / 3 * 4) in
+  let i = ref 0 in
+  while !i + 2 < n do
+    let x = (Char.code s.[!i] lsl 16) lor (Char.code s.[!i + 1] lsl 8) lor Char.code s.[!i + 2] in
+    Buffer.add_char b alphabet.[(x lsr 18) land 63];
+    Buffer.add_char b alphabet.[(x lsr 12) land 63];
+    Buffer.add_char b alphabet.[(x lsr 6) land 63];
+    Buffer.add_char b alphabet.[x land 63];
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+    let x = Char.code s.[!i] lsl 16 in
+    Buffer.add_char b alphabet.[(x lsr 18) land 63];
+    Buffer.add_char b alphabet.[(x lsr 12) land 63];
+    Buffer.add_string b "=="
+  | 2 ->
+    let x = (Char.code s.[!i] lsl 16) lor (Char.code s.[!i + 1] lsl 8) in
+    Buffer.add_char b alphabet.[(x lsr 18) land 63];
+    Buffer.add_char b alphabet.[(x lsr 12) land 63];
+    Buffer.add_char b alphabet.[(x lsr 6) land 63];
+    Buffer.add_char b '='
+  | _ -> ());
+  Buffer.contents b
+
+let sextet = function
+  | 'A' .. 'Z' as c -> Char.code c - 65
+  | 'a' .. 'z' as c -> Char.code c - 71
+  | '0' .. '9' as c -> Char.code c + 4
+  | '+' -> 62
+  | '/' -> 63
+  | _ -> -1
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then Error "base64 length not a multiple of 4"
+  else if n = 0 then Ok ""
+  else begin
+    let pad = if s.[n - 1] <> '=' then 0 else if s.[n - 2] = '=' then 2 else 1 in
+    let b = Buffer.create (n / 4 * 3) in
+    let err = ref None in
+    (try
+       for i = 0 to (n / 4) - 1 do
+         let q j =
+           let c = s.[(4 * i) + j] in
+           if c = '=' then
+             (* '=' is only legal as final padding *)
+             if 4 * i + j >= n - pad then 0 else raise Exit
+           else
+             match sextet c with
+             | -1 -> raise Exit
+             | v -> v
+         in
+         let x = (q 0 lsl 18) lor (q 1 lsl 12) lor (q 2 lsl 6) lor q 3 in
+         Buffer.add_char b (Char.chr ((x lsr 16) land 0xff));
+         if (4 * i) + 2 < n - pad then Buffer.add_char b (Char.chr ((x lsr 8) land 0xff));
+         if (4 * i) + 3 < n - pad then Buffer.add_char b (Char.chr (x land 0xff))
+       done
+     with Exit -> err := Some "invalid base64 character");
+    match !err with Some m -> Error m | None -> Ok (Buffer.contents b)
+  end

@@ -1,0 +1,8 @@
+(** RFC 4648 base64 (standard alphabet, padded) — carries binary ring
+    dumps through the JSON wire protocol without a new dependency. *)
+
+val encode : string -> string
+
+val decode : string -> (string, string) result
+(** Strict: rejects lengths not a multiple of 4, characters outside
+    the alphabet, and padding anywhere but the end. *)

@@ -42,6 +42,7 @@ let create ?(session = 0) () =
 
 let enabled = function Null -> false | Active _ -> true
 let session = function Null -> 0 | Active tr -> tr.tr_session
+let clock = function Null -> 0 | Active tr -> tr.tr_clock
 
 let tick tr =
   let c = tr.tr_clock in
@@ -231,6 +232,33 @@ let views = function
           view_events = event_order sp;
         })
       (span_order tr)
+
+(* The inverse of [views], for offline decoders (Ring): rebuild an
+   Active trace from span views so the byte-for-byte exporters above
+   re-emit exactly what the original trace would have. Volatile attrs
+   and wall instants are gone by construction — no exporter ever
+   rendered them. [clock] restores the tree header's vt range. *)
+let of_views ~session ~clock views =
+  let spans =
+    List.map
+      (fun v ->
+        {
+          sp_id = v.view_id;
+          sp_parent = v.view_parent;
+          sp_name = v.view_name;
+          sp_phase = v.view_phase;
+          sp_start = v.view_start;
+          sp_stop = v.view_stop;
+          sp_attrs = List.rev v.view_attrs;
+          sp_vattrs = [];
+          sp_events = List.rev v.view_events;
+          sp_wall_start = nan;
+          sp_wall_stop = nan;
+        })
+      views
+  in
+  let next = List.fold_left (fun acc sp -> max acc (sp.sp_id + 1)) 0 spans in
+  Active { tr_session = session; tr_clock = clock; tr_next = next; tr_spans = List.rev spans }
 
 let jsonl ?producer ts =
   let buf = Buffer.create 4096 in

@@ -43,6 +43,10 @@ val enabled : t -> bool
 
 val session : t -> int
 
+val clock : t -> int
+(** The trace's current virtual time (0 for {!null}) — the binary ring
+    codec persists it so decoded traces re-render identically. *)
+
 val span : t -> ?parent:handle -> phase:string -> string -> handle
 (** Open a span. [phase] names the pipeline stage (["parse"],
     ["reduce"], ["simulate"], …); the span name can be more specific
@@ -124,6 +128,13 @@ type span_view = {
 val views : t -> span_view list
 (** Spans in creation order ([[]] for {!null}). Volatile attrs are
     excluded, exactly as in every exporter. *)
+
+val of_views : session:int -> clock:int -> span_view list -> t
+(** Rebuild a live trace from span views (in creation order) — the
+    inverse of {!views}, used by the binary ring decoder ({!Ring}) so
+    the exporters re-emit decoded traces byte-compatibly. Volatile
+    attrs and wall instants are absent by construction; no exporter
+    rendered them anyway. *)
 
 (** {2 Exporters} *)
 

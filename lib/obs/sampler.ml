@@ -1,0 +1,29 @@
+(* Deterministic per-session head sampling: the keep/skip verdict is a
+   pure function of (seed, session id, rate), computed from the same
+   SplitMix64 finalizer the serve layer uses for fault injection (the
+   helpers are duplicated here rather than imported — trust_obs sits
+   below trust_serve in the dependency order). Because the hash does
+   not depend on the rate, thresholding is monotone: raising the rate
+   only ever adds sessions, so the set sampled at rate r is a subset of
+   the set at any r' >= r, and both are identical at any --jobs and
+   across runs. *)
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let uniform h = Int64.to_float (Int64.shift_right_logical h 11) /. 9007199254740992.0
+
+(* A stream key distinct from the scheduler's drop-decision constants,
+   so sampling verdicts and fault schedules drawn from one batch seed
+   stay statistically independent. *)
+let stream = 0xD6E8FEB86659FD93L
+
+let hash ~seed id =
+  mix64 (Int64.add (Int64.logxor seed stream) (Int64.mul (Int64.of_int (id + 1)) 0x9E3779B97F4A7C15L))
+
+let decision ~seed ~rate id =
+  if rate >= 1.0 then true
+  else if rate <= 0.0 then false
+  else uniform (hash ~seed id) < rate

@@ -1,0 +1,22 @@
+(** Deterministic per-session head sampling.
+
+    {!decision} is a pure function of [(seed, id, rate)]: no PRNG
+    state, no wall clock, no domain identity. Three properties are
+    load-bearing (pinned by test/test_ring.ml):
+
+    - {b reproducible}: the same seed and id give the same verdict in
+      every process, at any [--jobs], forever;
+    - {b monotone in the rate}: the hash ignores the rate and only the
+      threshold moves, so the set sampled at rate [r] is a subset of
+      the set sampled at any [r' >= r] (and rate [1.0] is everything,
+      rate [0.0] nothing);
+    - {b cheap}: a handful of int64 multiplies per session — safe to
+      call on the allocation-free hot path. *)
+
+val decision : seed:int64 -> rate:float -> int -> bool
+(** [decision ~seed ~rate id] — sample session [id]? Rates at or above
+    [1.0] always sample; at or below [0.0] never. *)
+
+val hash : seed:int64 -> int -> int64
+(** The mixed per-session hash behind {!decision} — exposed for tests
+    that pin the sampled-set layout. *)

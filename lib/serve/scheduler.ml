@@ -2,6 +2,8 @@ module Harness = Trust_sim.Harness
 module Engine = Trust_sim.Engine
 module Audit = Trust_sim.Audit
 module Obs = Trust_obs.Obs
+module Sampler = Trust_obs.Sampler
+module Ring = Trust_obs.Ring
 
 type config = {
   concurrency : int;
@@ -13,6 +15,7 @@ type config = {
   retry : bool;
   seed : int64;
   compiled : bool;
+  sample_rate : float;
 }
 
 let default_config =
@@ -26,6 +29,7 @@ let default_config =
     retry = true;
     seed = 1L;
     compiled = true;
+    sample_rate = 1.0;
   }
 
 type stats = { makespan : int; retried : int }
@@ -63,6 +67,9 @@ type recorders = {
   exposure_violations : Metrics.counter;
   exposure_peak_h : Metrics.histogram;
   exposure_ticks_h : Metrics.histogram;
+  obs_sampled : Metrics.counter;
+  obs_kept_tail : Metrics.counter;
+  obs_ring_dropped : Metrics.counter;
 }
 
 let recorders metrics =
@@ -84,6 +91,9 @@ let recorders metrics =
         exposure_violations = Metrics.counter m ~help:"single-transfer bound violations across runs" "sim_exposure_violations_total";
         exposure_peak_h = Metrics.histogram m ~help:"peak outstanding at-risk value per run (cents)" "sim_exposure_peak";
         exposure_ticks_h = Metrics.histogram m ~help:"virtual ticks with positive at-risk value per run" "sim_exposure_ticks";
+        obs_sampled = Metrics.counter m ~help:"sessions head-sampled into a live trace" "obs_sessions_sampled_total";
+        obs_kept_tail = Metrics.counter m ~help:"unsampled sessions promoted by a tail keep rule" "obs_sessions_kept_tail_total";
+        obs_ring_dropped = Metrics.counter m ~help:"trace-ring records evicted on wrap or refused oversized" "obs_ring_records_dropped_total";
       })
     metrics
 
@@ -308,18 +318,94 @@ let process_one ?metrics ?(obs = Obs.null) ?parent cfg cache (session : Session.
   let retried = Atomic.make 0 in
   process_session ?parent cfg cache (Cache.policy cache) rec_opt retried obs session
 
-let run ?metrics ?(obs = Obs.no_batch) cfg cache sessions =
+(* -- production tracing: head sampling, tail keep rules, ring sink -- *)
+
+let session_sampled cfg id = Sampler.decision ~seed:cfg.seed ~rate:cfg.sample_rate id
+
+(* Tail keep rules, most severe first: a §5 exposure-bound violation
+   outranks a retry (something actually went wrong with the money),
+   a retry outranks a plain expiry (the first attempt also expired),
+   and a lint refusal is kept because rejected specs are exactly what
+   an operator wants to see. All four are functions of the session
+   record alone, so the verdict is identical whether the session ran
+   traced or on the compiled fast path. *)
+let tail_reason (session : Session.t) =
+  if session.Session.exposure_violations > 0 then Some Ring.Violation
+  else if session.Session.attempts > 1 then Some Ring.Retry
+  else
+    match session.Session.status with
+    | Session.Expired -> Some Ring.Expiry
+    | Session.Aborted r when String.length r >= 5 && String.sub r 0 5 = "lint:" -> Some Ring.Lint
+    | _ -> None
+
+let keep_decision ~sampled session =
+  if sampled then Some Ring.Sampled else tail_reason session
+
+(* Materialize the trace of a session that ran unsampled (and hence on
+   the allocation-free compiled path): re-run a fresh copy through the
+   full lifecycle with a live sink. Every input the run depends on —
+   spec, defectors, the (seed, session, seq)-keyed drop schedule — is
+   identical, so the replayed trace is byte-for-byte what head
+   sampling would have recorded. Only rare tail-kept sessions pay the
+   second run; metrics are not passed, so nothing double-counts (the
+   protocol cache does see a second synthesize, typically a hit). *)
+let replay ?parent cfg cache trace (session : Session.t) =
+  let fresh =
+    Session.make ~id:session.Session.id ~defectors:session.Session.defectors session.Session.spec
+  in
+  let retried = Atomic.make 0 in
+  process_session ?parent cfg cache (Cache.policy cache) None retried trace fresh;
+  fresh
+
+let run ?metrics ?(obs = Obs.no_batch) ?ring cfg cache sessions =
   if cfg.concurrency < 1 then invalid_arg "Scheduler.run: concurrency must be >= 1";
   if cfg.jobs < 1 then invalid_arg "Scheduler.run: jobs must be >= 1";
   let rec_opt = recorders metrics in
   let retried = Atomic.make 0 in
   let policy = Cache.policy cache in
-  let process (session : Session.t) =
+  (* Tracing (batch export and/or ring sink) engages the sampler:
+     sampled sessions run with a live trace, everything else takes the
+     untraced — hence compiled, allocation-free — path and is only
+     looked at again by the tail keep rules at close. *)
+  let tracing = Obs.batch_enabled obs || Option.is_some ring in
+  let slot_trace (session : Session.t) =
     (* Each slot of the batch registry is touched by exactly one job —
        the one running its session — so traces need no locking; the
-       pool's shutdown join publishes them before the merge phase. *)
-    let trace = Obs.session_trace obs session.Session.id in
-    process_session cfg cache policy rec_opt retried trace session
+       pool's shutdown join publishes them before the merge phase.
+       Ring-only runs (no batch export) use a standalone trace. *)
+    if Obs.batch_enabled obs then Obs.session_trace obs session.Session.id
+    else Obs.create ~session:session.Session.id ()
+  in
+  let process (session : Session.t) =
+    let sampled = tracing && session_sampled cfg session.Session.id in
+    let trace = if sampled then slot_trace session else Obs.null in
+    process_session cfg cache policy rec_opt retried trace session;
+    if tracing then begin
+      if sampled then record rec_opt (fun r -> Metrics.incr r.obs_sampled);
+      match keep_decision ~sampled session with
+      | None -> ()
+      | Some keep ->
+        let trace =
+          if Obs.enabled trace then trace
+          else begin
+            (* tail promotion of an unsampled session: replay it into
+               the batch slot (or a standalone trace) so the durable
+               export carries it alongside the head-sampled set *)
+            record rec_opt (fun r -> Metrics.incr r.obs_kept_tail);
+            let slot = slot_trace session in
+            ignore (replay cfg cache slot session : Session.t);
+            slot
+          end
+        in
+        Option.iter
+          (fun ring ->
+            (* runs on the worker domain, so the commit lands in this
+               domain's own shard — the lock-free discipline Ring pins *)
+            let evicted = Ring.record ring ~keep trace in
+            if evicted > 0 then
+              record rec_opt (fun r -> Metrics.incr ~by:evicted r.obs_ring_dropped))
+          ring
+    end
   in
   (* Phase 1 — execute. Every session owns its mutable record, the
      cache is sharded behind per-shard locks and the metrics are
@@ -378,5 +464,13 @@ let run ?metrics ?(obs = Obs.no_batch) cfg cache sessions =
             Obs.attr trace h "started_at" (Obs.Int session.Session.started_at);
             Obs.attr trace h "finished_at" (Obs.Int session.Session.finished_at)))
     sessions;
+  (match (metrics, ring) with
+  | Some m, Some ring ->
+    (* which records survive eviction in which shard depends on domain
+       scheduling at jobs > 1, so residency is volatile here — the
+       single-threaded daemon registers the same gauge deterministically *)
+    Metrics.gauge m ~help:"trace-ring live bytes" ~volatile:true "obs_ring_bytes"
+      (float_of_int (Ring.bytes_resident ring))
+  | _ -> ());
   let makespan = Array.fold_left max 0 lanes in
   { makespan; retried = Atomic.get retried }

@@ -44,11 +44,19 @@ type config = {
           interpreted engine everywhere — the reference the benchmarks
           and the property tests compare against. Traced sessions
           always run interpreted so spans stay complete. *)
+  sample_rate : float;
+      (** fraction of sessions head-sampled into a live trace when
+          tracing is on ({!run} given a batch or a ring). The verdict
+          is {!Trust_obs.Sampler.decision} on [(seed, session id)] —
+          deterministic, jobs-independent, and monotone in the rate —
+          and unsampled sessions keep the untraced compiled fast path.
+          [1.0] (the default) traces everything, preserving the
+          pre-sampling behaviour of [--trace]. *)
 }
 
 val default_config : config
 (** 8 lanes, 1 job, deadline 1000, latency 1, 100k events, no drops,
-    retry on, seed 1, compiled path on. *)
+    retry on, seed 1, compiled path on, sample rate 1.0. *)
 
 type stats = {
   makespan : int;  (** max lane clock after the batch, >= 1 per session *)
@@ -72,8 +80,40 @@ val process_one :
     daemon's per-request span) when tracing. The session record carries
     the outcome ([session.status], ticks, events, exposure tallies). *)
 
+val session_sampled : config -> int -> bool
+(** The head-sampling verdict for a session id under this config's
+    [seed] and [sample_rate] — {!Trust_obs.Sampler.decision}, exposed
+    so the daemon and the tests apply the exact batch rule. *)
+
+val tail_reason : Session.t -> Trust_obs.Ring.keep option
+(** The tail keep rule over a closed session, most severe first:
+    [Violation] if any §5 exposure-bound violation was tallied, else
+    [Retry] if the session ran more than one attempt, else [Expiry] if
+    it expired, else [Lint] if admission lint refused it; [None] for
+    an unremarkable session. A pure function of the session record, so
+    traced and fast-path runs get identical verdicts. *)
+
+val keep_decision : sampled:bool -> Session.t -> Trust_obs.Ring.keep option
+(** What to retain at session close: head-sampled sessions are kept as
+    [Sampled]; unsampled ones are promoted iff {!tail_reason} fires. *)
+
+val replay :
+  ?parent:Trust_obs.Obs.handle -> config -> Cache.t -> Trust_obs.Obs.t -> Session.t -> Session.t
+(** Re-run a fresh copy of a (closed, unsampled) session with a live
+    trace sink, materializing the spans head sampling would have
+    recorded — determinism makes the two byte-identical. Metrics are
+    not recorded (nothing double-counts); the protocol cache does see
+    a second synthesis, typically a hit. Returns the replayed session
+    record. *)
+
 val run :
-  ?metrics:Metrics.t -> ?obs:Trust_obs.Obs.batch -> config -> Cache.t -> Session.t list -> stats
+  ?metrics:Metrics.t ->
+  ?obs:Trust_obs.Obs.batch ->
+  ?ring:Trust_obs.Ring.t ->
+  config ->
+  Cache.t ->
+  Session.t list ->
+  stats
 (** Drive every session through its lifecycle: synthesize through the
     cache, rebuild fresh behaviours, run the engine with the session's
     deadline, audit, classify ([Settled] iff the audit reached every
@@ -89,4 +129,17 @@ val run :
     are written by exactly one pool job each and published by the
     shutdown join, so span sets are byte-identical at any [jobs];
     cache hit/miss — which races across jobs — is recorded as a
-    volatile attribute that exporters skip. *)
+    volatile attribute that exporters skip.
+
+    Tracing engages the sampler: only sessions passing
+    {!session_sampled} run with a live trace (the rest keep the
+    untraced compiled fast path), and at close {!keep_decision} either
+    drops the session or commits it — tail-promoted sessions are
+    {!replay}ed first so the batch export and the [ring] carry their
+    full spans. Ring commits happen on the worker domain at session
+    close (each domain owns a shard), so they carry the execution
+    spans but {e not} the merge-phase [serve.place] annotation, which
+    exists only in the batch export; the ring's live-byte residency is
+    published as a volatile [obs_ring_bytes] gauge (eviction order is
+    scheduling-dependent at [jobs > 1]), while the [obs_*] counters
+    are deterministic. *)

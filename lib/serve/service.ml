@@ -21,6 +21,8 @@ type config = {
   defect_every : int option;
   trace : bool;
   compiled : bool;  (* execute cached plans on the allocation-free runtime *)
+  sample_rate : float;  (* fraction of sessions head-sampled when tracing *)
+  trace_ring : int;  (* ring-sink capacity in bytes; 0 disables the ring *)
 }
 
 let default =
@@ -43,6 +45,8 @@ let default =
     defect_every = None;
     trace = false;
     compiled = true;
+    sample_rate = 1.0;
+    trace_ring = 0;
   }
 
 type outcome = {
@@ -53,6 +57,7 @@ type outcome = {
   stats : Scheduler.stats;
   wall_seconds : float;
   obs : Trust_obs.Obs.batch;
+  ring : Trust_obs.Ring.t option;
 }
 
 type tally = { settled : int; expired : int; aborted : int }
@@ -108,13 +113,21 @@ let run (config : config) =
       retry = config.retry;
       seed = Shape.mix64 config.seed;
       compiled = config.compiled;
+      sample_rate = config.sample_rate;
     }
   in
   let obs = Trust_obs.Obs.batch ~enabled:config.trace ~sessions:config.sessions in
+  let ring =
+    if config.trace_ring > 0 then
+      (* one shard per worker domain: each pool job commits kept
+         sessions into its own preallocated buffer, lock-free *)
+      Some (Trust_obs.Ring.create ~shards:config.jobs ~capacity:config.trace_ring ())
+    else None
+  in
   (* gettimeofday, not [Sys.time]: CPU time sums over worker domains
      and would hide (or invert) any multicore speedup *)
   let started = Unix.gettimeofday () in
-  let stats = Scheduler.run ~metrics ~obs scheduler_config cache sessions in
+  let stats = Scheduler.run ~metrics ~obs ?ring scheduler_config cache sessions in
   let wall_seconds = Unix.gettimeofday () -. started in
   Metrics.gauge metrics ~help:"protocol cache hit rate over cacheable lookups"
     "serve_cache_hit_rate" (Cache.hit_rate cache);
@@ -124,7 +137,7 @@ let run (config : config) =
      else float_of_int config.sessions *. 1000. /. float_of_int stats.Scheduler.makespan);
   Metrics.gauge metrics ~help:"virtual makespan of the batch (ticks)" "serve_makespan_ticks"
     (float_of_int stats.Scheduler.makespan);
-  { config; sessions; metrics; cache; stats; wall_seconds; obs }
+  { config; sessions; metrics; cache; stats; wall_seconds; obs; ring }
 
 type exposure_tally = { peak : int; risk_ticks : int; violations : int; at_risk_sessions : int }
 

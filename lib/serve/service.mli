@@ -34,11 +34,18 @@ type config = {
       (** run cached compiled plans on the allocation-free
           {!Trust_sim.Hotpath} runtime (default); [false] benchmarks
           the interpreted reference path *)
+  sample_rate : float;
+      (** fraction of sessions head-sampled into live traces when
+          tracing is on — deterministic and monotone per
+          {!Trust_obs.Sampler}; [1.0] (default) traces everything *)
+  trace_ring : int;
+      (** capacity in bytes of the binary ring sink (sharded one
+          buffer per worker domain); [0] (default) disables it *)
 }
 
 val default : config
 (** 100 sessions, seed 42, default mix, 8 lanes, 1 job, Lockstep,
-    rescue on, compiled path on. *)
+    rescue on, compiled path on, sample rate 1.0, no ring. *)
 
 type outcome = {
   config : config;
@@ -50,6 +57,9 @@ type outcome = {
   obs : Trust_obs.Obs.batch;
       (** the batch trace registry — disabled unless [config.trace];
           pass {!Trust_obs.Obs.batch_traces} to {!Trust_obs.Obs.export} *)
+  ring : Trust_obs.Ring.t option;
+      (** the binary ring sink, present iff [config.trace_ring > 0] —
+          dump/decode it with {!Trust_obs.Ring} *)
 }
 
 type tally = { settled : int; expired : int; aborted : int }

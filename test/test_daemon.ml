@@ -9,6 +9,8 @@ module Wire = Trust_daemon.Wire
 module Admission = Trust_daemon.Admission
 module Server = Trust_daemon.Server
 module Client = Trust_daemon.Client
+module Ring = Trust_obs.Ring
+module Scheduler = Trust_serve.Scheduler
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -354,6 +356,100 @@ let test_server_epoch_aging_live () =
       check "the one-shot tail ages out" true (stats.Server.aged_out > 0);
       check "resident stays below served" true (stats.Server.cache_size < 10))
 
+(* -- live tracing over the wire: the trace request drains the ring -- *)
+
+let decode_exn dump =
+  match Ring.decode dump with
+  | Ok r -> r
+  | Error e -> Alcotest.fail ("ring decode failed: " ^ e)
+
+let test_server_trace_drain () =
+  (* sample everything so both submissions land in the ring *)
+  with_server "tracedrain"
+    ~config:{ Server.default with Server.trace_sample = 1.0 }
+    (fun addr _stop ->
+      match Client.connect addr with
+      | Error e -> Alcotest.fail e
+      | Ok client ->
+        List.iter
+          (fun id ->
+            match Client.submit client ~id ~spec:good_spec with
+            | Ok (Wire.Result { status; _ }) -> check_string "settled" "settled" status
+            | Ok _ -> Alcotest.fail "expected a result"
+            | Error e -> Alcotest.fail e)
+          [ 1; 2 ];
+        (match Client.trace client ~id:3 with
+        | Error e -> Alcotest.fail e
+        | Ok dump ->
+          let sessions, stats = decode_exn dump in
+          check_int "both sessions in the ring" 2 (List.length sessions);
+          check_int "decoder agrees" 2 stats.Ring.d_sessions;
+          check "head-sampled" true
+            (List.for_all (fun s -> s.Ring.s_keep = Ring.Sampled) sessions);
+          let jsonl = Ring.export Trust_obs.Obs.Jsonl sessions in
+          check "daemon root span present" true
+            (let n = String.length jsonl and k = "daemon.request" in
+             let kl = String.length k in
+             let rec at i = i + kl <= n && (String.sub jsonl i kl = k || at (i + 1)) in
+             at 0));
+        (* drain semantics: a second trace sees only what came after *)
+        (match Client.trace client ~id:4 with
+        | Error e -> Alcotest.fail e
+        | Ok dump ->
+          let sessions, stats = decode_exn dump in
+          check_int "idle drain is empty" 0 (List.length sessions);
+          check "lifetime written counter survives the drain" true (stats.Ring.d_written > 0));
+        Client.close client)
+    (fun stats -> check_int "two submissions served" 2 stats.Server.served)
+
+let test_server_trace_tail_promotion () =
+  (* nothing head-sampled, but an impossible deadline expires every
+     session — the tail rules must replay it into the ring anyway *)
+  with_server "tracetail"
+    ~config:
+      {
+        Server.default with
+        Server.trace_sample = 0.0;
+        scheduler = { Scheduler.default_config with Scheduler.session_deadline = 1 };
+      }
+    (fun addr _stop ->
+      match Client.connect addr with
+      | Error e -> Alcotest.fail e
+      | Ok client ->
+        (match Client.submit client ~id:1 ~spec:good_spec with
+        | Ok (Wire.Result { status; _ }) -> check_string "expired" "expired" status
+        | Ok _ -> Alcotest.fail "expected a result"
+        | Error e -> Alcotest.fail e);
+        (match Client.trace client ~id:2 with
+        | Error e -> Alcotest.fail e
+        | Ok dump -> (
+          match decode_exn dump with
+          | [ s ], _ ->
+            check_string "promoted as an expiry" (Ring.keep_label Ring.Expiry)
+              (Ring.keep_label s.Ring.s_keep)
+          | sessions, _ ->
+            Alcotest.fail
+              (Printf.sprintf "expected exactly the expired session, got %d"
+                 (List.length sessions))));
+        Client.close client)
+    (fun stats -> check_int "one expired" 1 stats.Server.expired)
+
+let test_server_trace_disabled_is_empty () =
+  with_server "tracenone"
+    ~config:{ Server.default with Server.trace_ring = 0 }
+    (fun addr _stop ->
+      match Client.connect addr with
+      | Error e -> Alcotest.fail e
+      | Ok client ->
+        (match Client.trace client ~id:1 with
+        | Error e -> Alcotest.fail e
+        | Ok dump ->
+          let sessions, stats = decode_exn dump in
+          check_int "no sessions" 0 (List.length sessions);
+          check_int "zero-shard dump" 0 stats.Ring.d_shards);
+        Client.close client)
+    (fun stats -> check_int "nothing served" 0 stats.Server.served)
+
 let () =
   Alcotest.run "daemon"
     [
@@ -384,5 +480,8 @@ let () =
           Alcotest.test_case "zero pending is busy" `Quick test_server_zero_pending_is_busy;
           Alcotest.test_case "drain with half frame" `Quick test_server_drain_with_half_frame;
           Alcotest.test_case "epoch aging live" `Quick test_server_epoch_aging_live;
+          Alcotest.test_case "trace drains the ring" `Quick test_server_trace_drain;
+          Alcotest.test_case "tail promotion over the wire" `Quick test_server_trace_tail_promotion;
+          Alcotest.test_case "trace with tracing off" `Quick test_server_trace_disabled_is_empty;
         ] );
     ]

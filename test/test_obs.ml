@@ -227,9 +227,39 @@ let batch ~jobs ~trace =
       trace;
     }
 
+(* the obs_* sampling counters are the one legitimate snapshot
+   difference: tracing on head-samples sessions, tracing off samples
+   none. Everything else must stay byte-identical. *)
+let scrub_obs_counters json =
+  let b = Buffer.create (String.length json) in
+  let n = String.length json in
+  let is_obs i = i + 5 <= n && String.sub json i 5 = "\"obs_" in
+  let rec go i =
+    if i < n then
+      if is_obs i then begin
+        let rec skip j =
+          if j >= n then j
+          else match json.[j] with ',' -> j + 1 | '}' -> j | _ -> skip (j + 1)
+        in
+        go (skip i)
+      end
+      else begin
+        Buffer.add_char b json.[i];
+        go (i + 1)
+      end
+  in
+  go 0;
+  Buffer.contents b
+
 let test_batch_trace_parity () =
   let off = batch ~jobs:1 ~trace:false and on = batch ~jobs:1 ~trace:true in
-  check_string "snapshot identical with tracing on" (Service.json off) (Service.json on);
+  check_string "snapshot identical with tracing on (modulo obs counters)"
+    (scrub_obs_counters (Service.json off))
+    (scrub_obs_counters (Service.json on));
+  check "tracing on samples the whole batch at the default rate" true
+    (contains (Service.json on) "\"obs_sessions_sampled_total\":60");
+  check "tracing off samples nothing" true
+    (contains (Service.json off) "\"obs_sessions_sampled_total\":0");
   List.iter2
     (fun (x : Session.t) (y : Session.t) ->
       check_string "same verdict" (Session.status_label x.Session.status)
