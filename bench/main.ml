@@ -28,6 +28,14 @@
                               reference: sessions/sec, per-hit minor
                               allocation, digest equality at jobs 1/4,
                               JSON on stdout (the BENCH_hotpath.json baseline)
+     main.exe --mine-json     trace-mining feedback loop: a defect-heavy
+                              observation run is mined from its ring, then
+                              identical follow-up traffic runs with the
+                              pin/pre-warm/deny policy off vs on, JSON on
+                              stdout (the BENCH_mine.json baseline)
+
+   Every JSON emitter carries a "host" block (cores, OS, arch) so
+   committed baselines record what hardware produced them.
 *)
 
 open Exchange
@@ -40,6 +48,29 @@ module Cost = Trust_core.Cost
 module Table = Report.Table
 
 let quick = ref false
+
+(* What hardware produced a committed baseline: spliced into every
+   JSON emitter so BENCH_*.json numbers can be read in context. *)
+let uname flag =
+  try
+    let ic = Unix.open_process_in ("uname " ^ flag ^ " 2>/dev/null") in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+let host_json =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some j -> j
+    | None ->
+      let j =
+        Printf.sprintf {|{"cores":%d,"os":"%s","arch":"%s"}|}
+          (Domain.recommended_domain_count ()) (uname "-s") (uname "-m")
+      in
+      memo := Some j;
+      j
 
 let yes_no b = if b then "yes" else "no"
 let feasible_str b = if b then "FEASIBLE" else "infeasible"
@@ -658,8 +689,8 @@ let serve_json () =
   let wall = outcome.Service.wall_seconds in
   let per_sec = if wall > 0. then float_of_int sessions /. wall else 0. in
   Printf.printf
-    "{\"bench\":\"serve_throughput\",\"version\":\"%s\",\"sessions\":%d,\"seed\":42,\"wall_seconds\":%.4f,\"sessions_per_sec\":%.1f,\"cache_hit_rate\":%.4f,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"makespan_ticks\":%d,\"concurrency\":%d}\n"
-    Trustseq_version.Version.v sessions wall per_sec
+    "{\"bench\":\"serve_throughput\",\"version\":\"%s\",\"host\":%s,\"sessions\":%d,\"seed\":42,\"wall_seconds\":%.4f,\"sessions_per_sec\":%.1f,\"cache_hit_rate\":%.4f,\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"makespan_ticks\":%d,\"concurrency\":%d}\n"
+    Trustseq_version.Version.v (host_json ()) sessions wall per_sec
     (Trust_serve.Cache.hit_rate outcome.Service.cache)
     t.Service.settled t.Service.expired t.Service.aborted
     outcome.Service.stats.Trust_serve.Scheduler.makespan
@@ -716,8 +747,8 @@ let parallel_json () =
       runs
   in
   Printf.printf
-    "{\"bench\":\"serve_parallel_scaling\",\"sessions\":%d,\"seed\":42,\"drop_rate\":0.02,\"cores\":%d,\"digests_match\":%b,\"runs\":[%s]}\n"
-    sessions
+    "{\"bench\":\"serve_parallel_scaling\",\"host\":%s,\"sessions\":%d,\"seed\":42,\"drop_rate\":0.02,\"cores\":%d,\"digests_match\":%b,\"runs\":[%s]}\n"
+    (host_json ()) sessions
     (Domain.recommended_domain_count ())
     digests_match (String.concat "," entries)
 
@@ -817,8 +848,8 @@ let obs_json () =
   in
   let jobs_identical = String.equal (decoded_export 1) (decoded_export 4) in
   Printf.printf
-    "{\"bench\":\"obs_overhead\",\"version\":\"%s\",\"sessions\":%d,\"seed\":42,\"drop_rate\":0.0002,\"ring_bytes\":%d,\"wall_seconds_untraced\":%.4f,\"sweep\":[%s],\"jobs_identity\":{\"rate\":%g,\"jobs\":[1,4],\"byte_identical\":%b}}\n"
-    Trustseq_version.Version.v sessions ring_bytes wall_untraced
+    "{\"bench\":\"obs_overhead\",\"version\":\"%s\",\"host\":%s,\"sessions\":%d,\"seed\":42,\"drop_rate\":0.0002,\"ring_bytes\":%d,\"wall_seconds_untraced\":%.4f,\"sweep\":[%s],\"jobs_identity\":{\"rate\":%g,\"jobs\":[1,4],\"byte_identical\":%b}}\n"
+    Trustseq_version.Version.v (host_json ()) sessions ring_bytes wall_untraced
     (String.concat "," sweep) identity_rate jobs_identical
 
 (* Daemon soak: a real server (Unix socket, select loop, admission
@@ -888,8 +919,8 @@ let daemon_json () =
        above price that in *)
     let cval name = Metrics.value (Metrics.counter metrics name) in
     Printf.printf
-      "{\"bench\":\"daemon_soak\",\"version\":\"%s\",\"requests\":%d,\"principals\":%d,\"seed\":7,\"wall_seconds\":%.3f,\"throughput_rps\":%.1f,\"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,\"max\":%.3f},\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"busy\":%d,\"dropped\":%d,\"cache_hits\":%d,\"rss_kb\":{\"start\":%d,\"end\":%d,\"peak\":%d},\"trace\":{\"ring_bytes\":%d,\"sample_rate\":%g,\"sampled\":%d,\"kept_tail\":%d,\"ring_dropped\":%d},\"server\":%s}\n"
-      Trustseq_version.Version.v requests principals r.Loadgen.wall
+      "{\"bench\":\"daemon_soak\",\"version\":\"%s\",\"host\":%s,\"requests\":%d,\"principals\":%d,\"seed\":7,\"wall_seconds\":%.3f,\"throughput_rps\":%.1f,\"latency_ms\":{\"p50\":%.3f,\"p90\":%.3f,\"p99\":%.3f,\"max\":%.3f},\"settled\":%d,\"expired\":%d,\"aborted\":%d,\"busy\":%d,\"dropped\":%d,\"cache_hits\":%d,\"rss_kb\":{\"start\":%d,\"end\":%d,\"peak\":%d},\"trace\":{\"ring_bytes\":%d,\"sample_rate\":%g,\"sampled\":%d,\"kept_tail\":%d,\"ring_dropped\":%d},\"server\":%s}\n"
+      Trustseq_version.Version.v (host_json ()) requests principals r.Loadgen.wall
       r.Loadgen.throughput r.Loadgen.p50_ms r.Loadgen.p90_ms r.Loadgen.p99_ms
       r.Loadgen.max_ms r.Loadgen.settled r.Loadgen.expired r.Loadgen.aborted
       r.Loadgen.busy r.Loadgen.dropped r.Loadgen.cache_hits rss_start rss_end
@@ -971,8 +1002,8 @@ let analyze_json () =
   let rows = List.map measure shapes in
   let max_ratio = List.fold_left (fun acc (_, r) -> Float.max acc r) 0. rows in
   Printf.printf
-    "{\"bench\":\"analyze_static_exposure\",\"version\":\"%s\",\"cold_iters\":%d,\"hit_iters\":%d,\"max_hit_over_cold\":%.4f,\"shapes\":[%s]}\n"
-    Trustseq_version.Version.v cold_iters hit_iters max_ratio
+    "{\"bench\":\"analyze_static_exposure\",\"version\":\"%s\",\"host\":%s,\"cold_iters\":%d,\"hit_iters\":%d,\"max_hit_over_cold\":%.4f,\"shapes\":[%s]}\n"
+    Trustseq_version.Version.v (host_json ()) cold_iters hit_iters max_ratio
     (String.concat "," (List.map fst rows))
 
 (* Compiled hot path: the allocation-free plan runtime
@@ -1065,12 +1096,132 @@ let hotpath_json () =
   let words_interp = words_per_session ~compiled:false in
   let words_comp = words_per_session ~compiled:true in
   Printf.printf
-    "{\"bench\":\"hotpath\",\"version\":\"%s\",\"sessions\":%d,\"seed\":42,\"drop_rate\":0.02,\"warm_cache\":true,\"interpreted\":{\"sessions_per_sec_jobs1\":%.1f,\"sessions_per_sec_jobs4\":%.1f,\"minor_words_per_hit\":%.0f},\"compiled\":{\"sessions_per_sec_jobs1\":%.1f,\"sessions_per_sec_jobs4\":%.1f,\"minor_words_per_hit\":%.0f},\"speedup_jobs1\":%.2f,\"alloc_reduction\":%.1f,\"digests_match\":%b}\n"
-    Trustseq_version.Version.v sessions (fst interp1) (fst interp4) words_interp
+    "{\"bench\":\"hotpath\",\"version\":\"%s\",\"host\":%s,\"sessions\":%d,\"seed\":42,\"drop_rate\":0.02,\"warm_cache\":true,\"interpreted\":{\"sessions_per_sec_jobs1\":%.1f,\"sessions_per_sec_jobs4\":%.1f,\"minor_words_per_hit\":%.0f},\"compiled\":{\"sessions_per_sec_jobs1\":%.1f,\"sessions_per_sec_jobs4\":%.1f,\"minor_words_per_hit\":%.0f},\"speedup_jobs1\":%.2f,\"alloc_reduction\":%.1f,\"digests_match\":%b}\n"
+    Trustseq_version.Version.v (host_json ()) sessions (fst interp1) (fst interp4) words_interp
     (fst comp1) (fst comp4) words_comp
     (if fst interp1 > 0. then fst comp1 /. fst interp1 else 0.)
     (if words_comp > 0. then words_interp /. words_comp else 0.)
     digests_match
+
+(* Trace-mining feedback loop, end to end at the scheduler layer (the
+   daemon wires the identical pieces behind --mine-every): a
+   defect-heavy observation batch runs with the ring sink on and full
+   sampling, the ring is dumped, decoded and mined into the per-shape
+   scoreboard — byte-identical at jobs 1 and 4, which the emitter
+   asserts — and the pin/deny candidates feed a policy pass: identical
+   follow-up traffic runs against two fresh, deliberately small caches,
+   one bare and one with denies applied and pin candidates pre-warmed
+   and pinned. The claim-bearing numbers, pinned by BENCH_mine.json:
+   the scoreboard jobs identity, a cache hit-rate improvement with the
+   policy on, and denied shapes aborting with the TM001 diagnostic. *)
+
+let mine_json () =
+  let module Service = Trust_serve.Service in
+  let module Scheduler = Trust_serve.Scheduler in
+  let module Session = Trust_serve.Session in
+  let module Cache = Trust_serve.Cache in
+  let module Shape = Trust_serve.Shape in
+  let module Ring = Trust_obs.Ring in
+  let module Mine = Trust_obs.Mine in
+  let sessions = if !quick then 300 else 1000 in
+  let capacity = 16 in
+  let observe_cfg jobs =
+    {
+      Service.default with
+      Service.sessions;
+      seed = 42L;
+      jobs;
+      drop_rate = 0.05;
+      defect_every = Some 7;
+      sample_rate = 1.0;
+      trace_ring = 32 lsl 20;
+      cache_capacity = capacity;
+    }
+  in
+  let board_of jobs =
+    let outcome = Service.run (observe_cfg jobs) in
+    let ring =
+      match outcome.Service.ring with
+      | Some ring -> ring
+      | None ->
+        prerr_endline "mine bench: expected a ring sink";
+        exit 2
+    in
+    match Ring.decode (Ring.dump ring) with
+    | Error e ->
+      prerr_endline ("mine bench: ring decode failed: " ^ e);
+      exit 2
+    | Ok (ss, stats) ->
+      if stats.Ring.d_dropped <> 0 then begin
+        prerr_endline "mine bench: observation ring wrapped; size it up";
+        exit 2
+      end;
+      (Mine.of_sessions ss, outcome)
+  in
+  let board, observed = board_of 1 in
+  let board4, _ = board_of 4 in
+  let jobs_identical = String.equal (Mine.json board) (Mine.json board4) in
+  let pins = Mine.pin_candidates ~min_incidents:2 board in
+  let denies = Mine.deny_candidates ~min_violations:1 board in
+  (* shape hex -> spec, from the observed workload: what the daemon's
+     spec stash provides for pre-warming *)
+  let spec_of = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Session.t) ->
+      let hex = Shape.hash_hex s.Session.spec in
+      if not (Hashtbl.mem spec_of hex) then Hashtbl.add spec_of hex s.Session.spec)
+    observed.Service.sessions;
+  (* follow-up traffic: same universe, fresh seed, fresh small caches *)
+  let followup () =
+    Service.sessions_of_config { (observe_cfg 1) with Service.seed = 43L }
+  in
+  let sched_cfg =
+    { Scheduler.default_config with Scheduler.drop_rate = 0.05; seed = Shape.mix64 43L }
+  in
+  let phase ~policy =
+    let cache = Cache.create ~capacity Cache.default_policy in
+    let prewarmed = ref 0 in
+    if policy then begin
+      List.iter (fun hex -> Cache.deny cache hex) denies;
+      List.iter
+        (fun hex ->
+          match Hashtbl.find_opt spec_of hex with
+          | Some spec -> (
+            match Cache.prewarm cache spec with
+            | `Hit | `Warmed -> incr prewarmed
+            | `Failed _ | `Uncacheable -> ())
+          | None -> ())
+        pins
+    end;
+    let batch = followup () in
+    ignore (Scheduler.run sched_cfg cache batch);
+    let denied_sessions =
+      List.length
+        (List.filter
+           (fun (s : Session.t) ->
+             match s.Session.status with
+             | Session.Aborted r ->
+               String.length r >= 7 && String.sub r 0 7 = "denied:"
+             | _ -> false)
+           batch)
+    in
+    (Cache.hit_rate cache, denied_sessions, !prewarmed, Cache.pinned_count cache)
+  in
+  let hit_off, denied_off, _, _ = phase ~policy:false in
+  let hit_on, denied_on, prewarmed, pinned = phase ~policy:true in
+  let rows = Mine.rows board in
+  let violations =
+    List.fold_left (fun acc (r : Mine.row) -> acc + r.Mine.violation_sessions) 0 rows
+  in
+  let incidents =
+    List.fold_left (fun acc (r : Mine.row) -> acc + r.Mine.retried + r.Mine.expired) 0 rows
+  in
+  Printf.printf
+    "{\"bench\":\"mine_feedback\",\"version\":\"%s\",\"host\":%s,\"sessions\":%d,\"seed\":42,\"drop_rate\":0.05,\"defect_every\":7,\"cache_capacity\":%d,\"scoreboard\":{\"sessions\":%d,\"shapes\":%d,\"violating_sessions\":%d,\"retry_expiry_incidents\":%d,\"jobs_identical\":%b},\"policy\":{\"pin_candidates\":%d,\"deny_candidates\":%d,\"prewarmed\":%d,\"pinned\":%d},\"followup\":{\"seed\":43,\"off\":{\"cache_hit_rate\":%.4f,\"denied_sessions\":%d},\"on\":{\"cache_hit_rate\":%.4f,\"denied_sessions\":%d}},\"hit_rate_gain\":%.4f}\n"
+    Trustseq_version.Version.v (host_json ()) sessions capacity (Mine.sessions board)
+    (Mine.shapes board) violations incidents jobs_identical (List.length pins)
+    (List.length denies) prewarmed pinned hit_off denied_off hit_on denied_on
+    (hit_on -. hit_off)
 
 (* driver *)
 
@@ -1121,6 +1272,10 @@ let () =
   end;
   if List.mem "--hotpath-json" args then begin
     hotpath_json ();
+    exit 0
+  end;
+  if List.mem "--mine-json" args then begin
+    mine_json ();
     exit 0
   end;
   let table =

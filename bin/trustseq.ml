@@ -984,10 +984,24 @@ let trace_decode_cmd =
                Option.map (Printf.sprintf "%s %d" k) (Hashtbl.find_opt tally k))
              [ "sampled"; "violation"; "retry"; "expiry"; "lint" ])
       in
-      Printf.eprintf "trace-decode: %d sessions (%s) from %d shards, %d records written, %d dropped\n"
+      let drop_ratio =
+        if stats.Ring.d_written = 0 then 0.
+        else float_of_int stats.Ring.d_dropped /. float_of_int stats.Ring.d_written
+      in
+      Printf.eprintf
+        "trace-decode: %d sessions (%s) from %d shards, %d records written, %d dropped (%.1f%% drop ratio)\n"
         stats.Ring.d_sessions
         (if kept = "" then "none kept" else kept)
-        stats.Ring.d_shards stats.Ring.d_written stats.Ring.d_dropped;
+        stats.Ring.d_shards stats.Ring.d_written stats.Ring.d_dropped (100. *. drop_ratio);
+      (* ring pressure is otherwise invisible: eviction on wrap is
+         silent by design, so say explicitly when the
+         newest-complete-suffix decode had to discard wrapped sessions
+         (grow --trace-ring or lower --trace-sample if this matters) *)
+      if stats.Ring.d_skipped > 0 then
+        Printf.eprintf
+          "trace-decode: warning: %d wrapped session%s discarded (ring evicted their oldest records); consider a larger ring or a lower sample rate\n"
+          stats.Ring.d_skipped
+          (if stats.Ring.d_skipped = 1 then "" else "s");
       0
   in
   let file =
@@ -1033,7 +1047,9 @@ let trace_decode_cmd =
       `P
         "A one-line summary lands on stderr: session count by keep reason (head-sampled vs \
          tail-promoted violation/retry/expiry/lint), shard count, and the ring's lifetime \
-         written/dropped record counters.";
+         written/dropped record counters with the drop ratio. When the decode had to discard \
+         wrapped sessions (their oldest records were evicted), a warning says how many — \
+         that is the signal to grow $(b,--trace-ring) or lower the sample rate.";
       `S Manpage.s_exit_status;
       `P "0 — decoded and rendered.";
       `P "2 — unreadable input, a corrupt dump, connection failure, or bad flags.";
@@ -1043,6 +1059,148 @@ let trace_decode_cmd =
     (Cmd.info "trace-decode" ~man
        ~doc:"Decode a binary trace-ring dump (file or live daemon) into any trace export format.")
     Term.(const run $ file $ connect $ timeout $ trace_format_arg ~default:"jsonl" "the decoded trace" $ out)
+
+(* mine *)
+
+let mine_cmd =
+  let module Ring = Trust_obs.Ring in
+  let module Mine = Trust_obs.Mine in
+  let module Analysis = Trust_obs.Analysis in
+  let module Client = Trust_daemon.Client in
+  let run file connect from_trace timeout json pin deny out =
+    let die msg =
+      prerr_endline ("trustseq: " ^ msg);
+      exit 2
+    in
+    let read_bin = function
+      | "-" -> In_channel.input_all stdin
+      | path -> (
+        try In_channel.with_open_bin path In_channel.input_all
+        with Sys_error m -> die m)
+    in
+    let of_dump dump =
+      match Ring.decode dump with Error m -> die m | Ok (sessions, _) -> Mine.of_sessions sessions
+    in
+    let board =
+      match (file, connect, from_trace) with
+      | Some _, Some _, _ | Some _, _, Some _ | None, Some _, Some _ ->
+        die "mine takes exactly one input: a dump FILE, --connect, or --from-trace"
+      | None, None, None ->
+        die "mine needs a ring dump FILE ('-' for stdin), --connect ADDR, or --from-trace FILE"
+      | Some path, None, None -> of_dump (read_bin path)
+      | None, Some addr, None -> (
+        match Client.connect ~timeout addr with
+        | Error e -> die e
+        | Ok client ->
+          let dump = Client.trace client ~id:1 in
+          Client.close client;
+          (match dump with Ok dump -> of_dump dump | Error e -> die e))
+      | None, None, Some path -> (
+        match Analysis.of_jsonl (read_bin path) with
+        | Error m -> die m
+        | Ok a -> Mine.of_views (Analysis.views a))
+    in
+    let rendered =
+      if json then Mine.json board ^ "\n"
+      else begin
+        let candidates label = function
+          | [] -> Printf.sprintf "%s: none\n" label
+          | shapes -> Printf.sprintf "%s: %s\n" label (String.concat " " shapes)
+        in
+        Mine.table board
+        ^ candidates (Printf.sprintf "pin candidates (>= %d incidents)" pin)
+            (Mine.pin_candidates ~min_incidents:pin board)
+        ^ candidates (Printf.sprintf "deny candidates (>= %d violating sessions)" deny)
+            (Mine.deny_candidates ~min_violations:deny board)
+      end
+    in
+    land_output out rendered;
+    Printf.eprintf "mine: %d sessions over %d shapes\n" (Mine.sessions board)
+      (Mine.shapes board);
+    0
+  in
+  let file =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Binary ring dump ('-' for stdin) — from $(b,batch --ring-dump-out) or a daemon's \
+             $(b,trace) wire frame.")
+  in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Drain a live daemon's trace ring and mine that window: $(b,unix:PATH), \
+             $(b,tcp:HOST:PORT), or a bare socket path.")
+  in
+  let from_trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:
+            "Mine a JSONL trace export ('-' for stdin) instead of a binary dump — e.g. a \
+             daemon's --trace sink or $(b,trace-decode) output. The scoreboard is \
+             byte-identical to mining the dump the JSONL was decoded from.")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Receive timeout for --connect.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the canonical one-line scoreboard JSON instead of the table rendering.")
+  in
+  let pin =
+    Arg.(
+      value & opt int 2
+      & info [ "pin" ] ~docv:"N"
+          ~doc:
+            "List shapes with at least $(docv) retry/expiry incidents (and no violations) as \
+             pin candidates.")
+  in
+  let deny =
+    Arg.(
+      value & opt int 1
+      & info [ "deny" ] ~docv:"N"
+          ~doc:"List shapes with at least $(docv) violating sessions as deny candidates.")
+  in
+  let out =
+    Arg.(
+      value & opt string "-"
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Write the scoreboard to $(docv) (default stdout).")
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Folds kept sessions — the trace ring's tail-retained anomalies plus the head-sampled \
+         baseline — into a per-shape incident scoreboard: keep reasons, retry/expiry rates, §5 \
+         exposure violations and per-phase self-time, keyed by the canonical FNV spec shape \
+         hash the protocol cache uses. This is the offline face of the daemon's \
+         $(b,--mine-every) feedback loop (docs/OBS.md, \"Trace mining\"): the same scoreboard \
+         the daemon folds live, so policy decisions are reproducible from a dump.";
+      `P
+        "Everything is a pure function of the decoded span views: the scoreboard is \
+         byte-identical whether the sessions came from a file, a live drain or a re-parsed \
+         JSONL export, and whatever --jobs produced them.";
+      `S Manpage.s_exit_status;
+      `P "0 — mined and rendered.";
+      `P "2 — unreadable input, a corrupt dump, connection failure, or bad flags.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "mine" ~man
+       ~doc:
+         "Mine a trace-ring dump (file, live daemon, or JSONL export) into the per-shape \
+          incident scoreboard that drives cache pinning and admission denial.")
+    Term.(const run $ file $ connect $ from_trace $ timeout $ json $ pin $ deny $ out)
 
 (* batch *)
 
@@ -1299,7 +1457,8 @@ let connect_arg =
 let serve_cmd =
   let module Server = Trust_daemon.Server in
   let run socket tcp max_pending cache_capacity epoch_every max_idle deadline latency mode
-      no_rescue verify metrics_out trace_out trace_ring trace_sample =
+      no_rescue verify metrics_out trace_out trace_ring trace_sample mine_every mine_pin
+      mine_deny defect_every drop_rate =
     if socket = None && tcp = None then begin
       prerr_endline "trustseq: serve needs --socket PATH and/or --tcp HOST:PORT";
       exit 2
@@ -1330,6 +1489,15 @@ let serve_cmd =
     if trace_sample < 0. || trace_sample > 1. then (
       prerr_endline "trustseq: --trace-sample must lie in [0, 1]";
       exit 2);
+    if mine_every < 0 || mine_pin < 0 || mine_deny < 0 || defect_every < 0 then (
+      prerr_endline "trustseq: --mine-every/--mine-pin/--mine-deny/--defect-every must be non-negative";
+      exit 2);
+    if mine_every > 0 && trace_ring = 0 then (
+      prerr_endline "trustseq: --mine-every needs a live trace ring (--trace-ring > 0)";
+      exit 2);
+    if drop_rate < 0. || drop_rate >= 1. then (
+      prerr_endline "trustseq: --drop-rate must lie in [0, 1)";
+      exit 2);
     let config =
       {
         Server.default with
@@ -1348,6 +1516,7 @@ let serve_cmd =
             Trust_serve.Scheduler.default_config with
             Trust_serve.Scheduler.session_deadline = deadline;
             latency;
+            drop_rate;
           };
         max_pending;
         epoch_every;
@@ -1356,6 +1525,10 @@ let serve_cmd =
         trace_path = trace_out;
         trace_ring;
         trace_sample;
+        mine_every;
+        mine_pin;
+        mine_deny;
+        defect_every;
         banner = "trustseq " ^ version;
       }
     in
@@ -1478,6 +1651,55 @@ let serve_cmd =
              fast path; tail keep rules still promote every session that closes with an \
              exposure violation, retry, expiry or lint refusal. Default 0.01.")
   in
+  let mine_every =
+    Arg.(
+      value
+      & opt int Server.default.Server.mine_every
+      & info [ "mine-every" ] ~docv:"N"
+          ~doc:
+            "Every $(docv) served requests, self-drain the trace ring, fold the kept sessions \
+             into the trace-mining scoreboard and apply the feedback policy below (pin, \
+             pre-warm, deny). Needs --trace-ring > 0. Default 0 (the loop is off).")
+  in
+  let mine_pin =
+    Arg.(
+      value
+      & opt int Server.default.Server.mine_pin
+      & info [ "mine-pin" ] ~docv:"N"
+          ~doc:
+            "Pin (and pre-warm when evicted) cache entries for shapes with at least $(docv) \
+             retry or expiry incidents on the scoreboard and no exposure violations; pinned \
+             entries are exempt from FIFO eviction and epoch aging. 0 disables. Default 2.")
+  in
+  let mine_deny =
+    Arg.(
+      value
+      & opt int Server.default.Server.mine_deny
+      & info [ "mine-deny" ] ~docv:"N"
+          ~doc:
+            "Deny-list shapes whose kept sessions include at least $(docv) exposure-violating \
+             runs; further submissions of a denied shape are answered $(b,refused) with the \
+             $(b,TM001) diagnostic. 0 disables. Default 1.")
+  in
+  let defect_every =
+    Arg.(
+      value
+      & opt int Server.default.Server.defect_every
+      & info [ "defect-every" ] ~docv:"N"
+          ~doc:
+            "Fault injection for smokes and soaks: every $(docv)-th session's first defectable \
+             principal goes silent (the same knob batch --defect-every turns). Default 0 (no \
+             injection).")
+  in
+  let drop_rate =
+    Arg.(
+      value
+      & opt float Trust_serve.Scheduler.default_config.Trust_serve.Scheduler.drop_rate
+      & info [ "drop-rate" ] ~docv:"RATE"
+          ~doc:
+            "Per-delivery message-drop probability on each session's first run (retries rerun \
+             clean), exercising the retry path. Default 0.")
+  in
   let man =
     [
       `S Manpage.s_description;
@@ -1495,6 +1717,13 @@ let serve_cmd =
          --trace-ring / --trace-sample; add --trace FILE for a durable JSONL sink of every \
          kept session.";
       `P
+        "With --mine-every N the daemon closes the loop on its own telemetry: every N served \
+         requests it drains the ring, folds the kept sessions into the $(b,trustseq mine) \
+         scoreboard, pins and pre-warms chronically retried or expiring shapes (--mine-pin) \
+         and deny-lists shapes observed violating the \xC2\xA75 exposure bound (--mine-deny; refused \
+         submissions carry the TM001 diagnostic). Progress shows up in the obs_mine_* \
+         counters and the serve_cache_pinned / serve_admission_denied_total metrics.";
+      `P
         "SIGTERM or SIGINT drains gracefully: stop accepting, finish everything admitted, \
          flush responses, write the final --metrics-out snapshot, exit 0.";
       `S Manpage.s_exit_status;
@@ -1510,7 +1739,8 @@ let serve_cmd =
           protocol cache, graceful drain.")
     Term.(
       const run $ socket $ tcp $ max_pending $ cache_capacity $ epoch_every $ max_idle $ deadline
-      $ latency $ mode $ no_rescue $ verify $ metrics_out $ trace_out $ trace_ring $ trace_sample)
+      $ latency $ mode $ no_rescue $ verify $ metrics_out $ trace_out $ trace_ring $ trace_sample
+      $ mine_every $ mine_pin $ mine_deny $ defect_every $ drop_rate)
 
 let submit_cmd =
   let module Client = Trust_daemon.Client in
@@ -1591,17 +1821,27 @@ let submit_cmd =
 let loadgen_cmd =
   let module Loadgen = Trust_daemon.Loadgen in
   let module Universe = Workload.Universe in
-  let run connect requests principals seed zipf_consumers zipf_brokers templates template_share
-      busy_retries json =
+  let run connect requests profile principals seed zipf_consumers zipf_brokers templates
+      template_share busy_retries json =
     if requests < 1 then (
       prerr_endline "trustseq: --requests must be at least 1";
       exit 2);
+    (* the profile picks the base universe; explicit knobs override it *)
+    let base =
+      match profile with
+      | `Default -> Universe.default_config
+      | `Defect_heavy -> Universe.defect_heavy
+    in
+    let templates = Option.value templates ~default:base.Universe.templates in
+    let template_share =
+      Option.value template_share ~default:base.Universe.template_share
+    in
     if template_share < 0. || template_share > 1. then (
       prerr_endline "trustseq: --template-share must lie in [0, 1]";
       exit 2);
     let universe =
       {
-        Universe.default_config with
+        base with
         Universe.principals;
         s_consumers = zipf_consumers;
         s_brokers = zipf_brokers;
@@ -1654,18 +1894,32 @@ let loadgen_cmd =
       & opt float Universe.default_config.Universe.s_brokers
       & info [ "zipf-brokers" ] ~docv:"S" ~doc:"Broker/agent popularity exponent (heavy hitters).")
   in
+  let profile =
+    Arg.(
+      value
+      & opt (enum [ ("default", `Default); ("defect-heavy", `Defect_heavy) ]) `Default
+      & info [ "profile" ] ~docv:"NAME"
+          ~doc:
+            "Universe profile: $(b,default) (million-principal marketplace) or \
+             $(b,defect-heavy) (hot 64-template catalog, deep chains, wide fans — the traffic \
+             that feeds the daemon's --mine-every loop under fault injection). Explicit knobs \
+             below override the profile.")
+  in
   let templates =
     Arg.(
       value
-      & opt int Universe.default_config.Universe.templates
-      & info [ "templates" ] ~docv:"N" ~doc:"Catalog template count (0 disables replays).")
+      & opt (some int) None
+      & info [ "templates" ] ~docv:"N"
+          ~doc:"Catalog template count (0 disables replays; default from --profile).")
   in
   let template_share =
     Arg.(
       value
-      & opt float Universe.default_config.Universe.template_share
+      & opt (some float) None
       & info [ "template-share" ] ~docv:"P"
-          ~doc:"Fraction of traffic replaying catalog templates (cache-hot).")
+          ~doc:
+            "Fraction of traffic replaying catalog templates (cache-hot; default from \
+             --profile).")
   in
   let busy_retries =
     Arg.(
@@ -1693,8 +1947,8 @@ let loadgen_cmd =
          "Generate Zipf-distributed load against a running daemon and report throughput and \
           latency percentiles.")
     Term.(
-      const run $ connect_arg $ requests $ principals $ seed $ zipf_consumers $ zipf_brokers
-      $ templates $ template_share $ busy_retries $ json)
+      const run $ connect_arg $ requests $ profile $ principals $ seed $ zipf_consumers
+      $ zipf_brokers $ templates $ template_share $ busy_retries $ json)
 
 (* petri *)
 
@@ -1722,6 +1976,6 @@ let main_cmd =
   let doc = "trust-explicit distributed commerce transactions (Ketchpel & Garcia-Molina, ICDCS'96)" in
   Cmd.group
     (Cmd.info "trustseq" ~version ~doc)
-    [ check_cmd; lint_cmd; analyze_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; serve_cmd; submit_cmd; loadgen_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd; trace_decode_cmd ]
+    [ check_cmd; lint_cmd; analyze_cmd; sequence_cmd; indemnify_cmd; simulate_cmd; render_cmd; cost_cmd; route_cmd; exposure_cmd; petri_cmd; batch_cmd; serve_cmd; submit_cmd; loadgen_cmd; trace_cmd; trace_stats_cmd; trace_diff_cmd; trace_decode_cmd; mine_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

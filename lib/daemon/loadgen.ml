@@ -26,6 +26,7 @@ type report = {
   aborted : int;
   busy : int;
   dropped : int;
+  refused : int;
   cache_hits : int;
   wall : float;
   throughput : float;
@@ -54,6 +55,7 @@ let run cfg =
     and aborted = ref 0
     and busy = ref 0
     and dropped = ref 0
+    and refused = ref 0
     and cache_hits = ref 0 in
     let error = ref None in
     let started = Unix.gettimeofday () in
@@ -82,6 +84,12 @@ let run cfg =
                | "settled" -> incr settled
                | "expired" -> incr expired
                | _ -> incr aborted)
+             | Ok (Wire.Refused { reason; _ })
+               when String.length reason >= 7 && String.sub reason 0 7 = "denied:" ->
+               (* the trace-mining deny list refusing a shape is an
+                  expected per-request outcome under --mine-deny, not a
+                  transport failure: count it and keep driving *)
+               incr refused
              | Ok (Wire.Refused { reason; _ }) -> error := Some ("refused: " ^ reason)
              | Ok _ -> error := Some "unexpected response to submit"
            in
@@ -106,6 +114,7 @@ let run cfg =
           aborted = !aborted;
           busy = !busy;
           dropped = !dropped;
+          refused = !refused;
           cache_hits = !cache_hits;
           wall;
           throughput = (if wall > 0. then float_of_int !sent /. wall else 0.);
@@ -117,16 +126,17 @@ let run cfg =
 
 let json r =
   Printf.sprintf
-    {|{"sent":%d,"settled":%d,"expired":%d,"aborted":%d,"busy":%d,"dropped":%d,"cache_hits":%d,"wall_s":%.3f,"throughput_rps":%.1f,"latency_ms":{"p50":%.3f,"p90":%.3f,"p99":%.3f,"max":%.3f}}|}
-    r.sent r.settled r.expired r.aborted r.busy r.dropped r.cache_hits r.wall r.throughput
-    r.p50_ms r.p90_ms r.p99_ms r.max_ms
+    {|{"sent":%d,"settled":%d,"expired":%d,"aborted":%d,"busy":%d,"dropped":%d,"refused":%d,"cache_hits":%d,"wall_s":%.3f,"throughput_rps":%.1f,"latency_ms":{"p50":%.3f,"p90":%.3f,"p99":%.3f,"max":%.3f}}|}
+    r.sent r.settled r.expired r.aborted r.busy r.dropped r.refused r.cache_hits r.wall
+    r.throughput r.p50_ms r.p90_ms r.p99_ms r.max_ms
 
 let table r =
   String.concat "\n"
     [
       Printf.sprintf "results        %d (settled %d, expired %d, aborted %d)" r.sent
         r.settled r.expired r.aborted;
-      Printf.sprintf "backpressure   %d busy answers, %d dropped" r.busy r.dropped;
+      Printf.sprintf "backpressure   %d busy answers, %d dropped, %d refused" r.busy
+        r.dropped r.refused;
       Printf.sprintf "cache hits     %d" r.cache_hits;
       Printf.sprintf "wall           %.3f s (%.1f results/s)" r.wall r.throughput;
       Printf.sprintf "latency (ms)   p50 %.3f  p90 %.3f  p99 %.3f  max %.3f" r.p50_ms

@@ -27,6 +27,9 @@ type report = {
   aborted : int;
   busy : int;  (** [busy] answers seen (before successful retries) *)
   dropped : int;  (** requests abandoned after exhausting busy retries *)
+  refused : int;
+      (** submissions refused by the daemon's trace-mining deny list
+          ([denied: \[TM001\]] answers) — expected under [--mine-deny] *)
   cache_hits : int;  (** results served from the protocol cache *)
   wall : float;  (** seconds for the whole run *)
   throughput : float;  (** results per second *)

@@ -4,7 +4,9 @@ module Scheduler = Trust_serve.Scheduler
 module Session = Trust_serve.Session
 module Obs = Trust_obs.Obs
 module Ring = Trust_obs.Ring
+module Mine = Trust_obs.Mine
 module B64 = Trust_obs.B64
+module Shape = Trust_serve.Shape
 
 type config = {
   unix_path : string option;
@@ -20,6 +22,10 @@ type config = {
   trace_path : string option;
   trace_ring : int;
   trace_sample : float;
+  mine_every : int;
+  mine_pin : int;
+  mine_deny : int;
+  defect_every : int;
   banner : string;
 }
 
@@ -41,6 +47,13 @@ let default =
        promoting every anomalous session regardless of the rate *)
     trace_ring = 1 lsl 20;
     trace_sample = 0.01;
+    (* the feedback loop is opt-in: mining costs a ring drain + refold
+       every [mine_every] requests, and pins/denies change admission
+       behavior — operators turn the knob deliberately *)
+    mine_every = 0;
+    mine_pin = 2;
+    mine_deny = 1;
+    defect_every = 0;
     banner = "trustseq";
   }
 
@@ -83,6 +96,11 @@ type srv = {
   pending : (conn * int * string) Admission.t;
   trace_ch : out_channel option;
   ring : Ring.t option;
+  (* the trace-mining feedback loop: a scoreboard accumulated across
+     self-drains, and a bounded last-seen spec per shape so pin
+     candidates that already aged out can be pre-warmed *)
+  mutable board : Mine.t;
+  stash : (string, Exchange.Spec.t) Hashtbl.t;
   (* tallies (the daemon loop is single-threaded) *)
   mutable next_session : int;
   mutable served : int;
@@ -103,6 +121,11 @@ type srv = {
   obs_sampled_c : Metrics.counter;
   obs_tail_c : Metrics.counter;
   obs_ring_dropped_c : Metrics.counter;
+  mine_ticks_c : Metrics.counter;
+  mine_sessions_c : Metrics.counter;
+  mine_pins_c : Metrics.counter;
+  mine_prewarms_c : Metrics.counter;
+  mine_denies_c : Metrics.counter;
 }
 
 let send conn resp = Buffer.add_string conn.out (Frame.encode (Wire.encode_response resp))
@@ -150,6 +173,9 @@ let refresh_cache_gauges srv =
     (float_of_int (Cache.epoch srv.cache));
   Metrics.gauge srv.metrics ~help:"resident protocol-cache entries" "serve_cache_size"
     (float_of_int (Cache.size srv.cache));
+  Metrics.gauge srv.metrics ~help:"cache entries pinned by the trace-mining policy"
+    "serve_cache_pinned"
+    (float_of_int (Cache.pinned_count srv.cache));
   (* deterministic here, unlike the batch scheduler's volatile variant:
      the select loop commits sessions in wire order on one thread *)
   Option.iter
@@ -165,6 +191,57 @@ let epoch_tick srv =
   if swept > 0 then Metrics.incr ~by:swept srv.aged_c;
   refresh_cache_gauges srv;
   write_snapshot srv
+
+(* The feedback tick: self-drain the ring (the same consuming window
+   the [trace] wire request reads), fold the kept sessions into the
+   running scoreboard, then apply the policy — pin or pre-warm shapes
+   that repeatedly retried/expired, deny shapes whose tails showed §5
+   exposure violations. Deterministic: the scoreboard is a pure fold
+   and the thresholds come from config, so the same request stream
+   always produces the same pins and denies. *)
+let mine_tick srv =
+  match srv.ring with
+  | None -> ()
+  | Some ring ->
+    Metrics.incr srv.mine_ticks_c;
+    (match Ring.decode (Ring.drain ring) with
+    | Error _ -> ()  (* a corrupt self-dump would be a Ring bug; never kill the daemon over it *)
+    | Ok (sessions, _) ->
+      if sessions <> [] then begin
+        Metrics.incr ~by:(List.length sessions) srv.mine_sessions_c;
+        srv.board <-
+          List.fold_left
+            (fun board (s : Ring.session) -> Mine.add_views board s.Ring.s_views)
+            srv.board sessions
+      end);
+    if srv.cfg.mine_deny > 0 then begin
+      let already = Cache.denied srv.cache in
+      List.iter
+        (fun hex ->
+          if not (List.mem hex already) then begin
+            Cache.deny srv.cache hex;
+            Metrics.incr srv.mine_denies_c
+          end)
+        (Mine.deny_candidates ~min_violations:srv.cfg.mine_deny srv.board)
+    end;
+    if srv.cfg.mine_pin > 0 then begin
+      let denied = Cache.denied srv.cache in
+      List.iter
+        (fun hex ->
+          if not (List.mem hex denied) then
+            if Cache.pin srv.cache hex then Metrics.incr srv.mine_pins_c
+            else
+              (* hot but not resident (aged out or evicted): pre-warm
+                 from the last spec seen with this shape, if any *)
+              match Hashtbl.find_opt srv.stash hex with
+              | None -> ()
+              | Some spec -> (
+                match Cache.prewarm srv.cache spec with
+                | `Warmed -> Metrics.incr srv.mine_prewarms_c
+                | `Hit | `Failed _ | `Uncacheable -> ()))
+        (Mine.pin_candidates ~min_incidents:srv.cfg.mine_pin srv.board)
+    end;
+    refresh_cache_gauges srv
 
 (* -- request processing -- *)
 
@@ -199,7 +276,18 @@ let traced_pass srv ~record ~session:n ~id ~spec obs session_out =
         if record then srv.aborted <- srv.aborted + 1;
         zero_result ~id ~status:"error" ~exit_code:2 ~reason:(Some e)
       | Ok parsed ->
-        let session = Session.make ~id:n parsed in
+        (* optional fault injection (CI smokes, soak tests): every
+           [defect_every]-th session defects silently, exactly the
+           batch Service knob. Keyed on the session id, so the tail
+           replay re-derives the identical cast. *)
+        let defectors =
+          if srv.cfg.defect_every > 0 && (n + 1) mod srv.cfg.defect_every = 0 then
+            match Trust_sim.Harness.defectable_principals parsed with
+            | party :: _ -> [ (party, Trust_sim.Harness.Silent) ]
+            | [] -> []
+          else []
+        in
+        let session = Session.make ~id:n ~defectors parsed in
         session_out := Some session;
         if record then
           Scheduler.process_one ~metrics:srv.metrics ~obs ~parent:root srv.cfg.scheduler
@@ -248,6 +336,13 @@ let process_submit srv conn ~id ~spec =
   let session_ref = ref None in
   let resp = traced_pass srv ~record:true ~session:n ~id ~spec obs session_ref in
   if sampled then Metrics.incr srv.obs_sampled_c;
+  (* remember the last spec per shape (bounded) so the mining tick can
+     pre-warm a pin candidate that already aged out of the cache *)
+  (match !session_ref with
+  | Some session when srv.cfg.mine_every > 0 ->
+    if Hashtbl.length srv.stash >= 4096 then Hashtbl.reset srv.stash;
+    Hashtbl.replace srv.stash (Shape.hash_hex session.Session.spec) session.Session.spec
+  | Some _ | None -> ());
   let keep =
     match !session_ref with
     | Some session -> Scheduler.keep_decision ~sampled session
@@ -273,6 +368,11 @@ let process_submit srv conn ~id ~spec =
         replay
       end
     in
+    (* stamp the keep verdict on the root after the fact (attrs on
+       finished spans don't tick the clock): ring dumps and the JSONL
+       sink then agree on why the session was retained, so Mine folds
+       either source identically *)
+    Obs.attr trace (Obs.first_root trace) "keep" (Obs.Str (Ring.keep_label keep));
     Option.iter
       (fun ring ->
         let evicted = Ring.record ring ~keep trace in
@@ -286,10 +386,21 @@ let process_submit srv conn ~id ~spec =
         output_string ch (Obs.export Obs.Jsonl [ trace ]);
         flush ch)
       srv.trace_ch);
+  (* a deny-listed shape surfaces as the wire's refused answer — the
+     client sees the TM001 diagnostic with the transport exit contract,
+     distinct from an ordinary aborted result *)
+  let resp =
+    match resp with
+    | Wire.Result { id; reason = Some r; _ }
+      when String.length r >= 7 && String.sub r 0 7 = "denied:" ->
+      Wire.Refused { id = Some id; reason = r }
+    | resp -> resp
+  in
   send conn resp;
   srv.served <- srv.served + 1;
   Metrics.incr srv.requests_c;
-  if srv.cfg.epoch_every > 0 && srv.served mod srv.cfg.epoch_every = 0 then epoch_tick srv
+  if srv.cfg.epoch_every > 0 && srv.served mod srv.cfg.epoch_every = 0 then epoch_tick srv;
+  if srv.cfg.mine_every > 0 && srv.served mod srv.cfg.mine_every = 0 then mine_tick srv
 
 let snapshot ?(drained = false) srv =
   {
@@ -428,6 +539,8 @@ let run ?(stop = Atomic.make false) ?metrics cfg =
       trace_ch = Option.map open_out cfg.trace_path;
       ring =
         (if cfg.trace_ring > 0 then Some (Ring.create ~capacity:cfg.trace_ring ()) else None);
+      board = Mine.empty;
+      stash = Hashtbl.create 256;
       next_session = 0;
       served = 0;
       settled = 0;
@@ -459,6 +572,21 @@ let run ?(stop = Atomic.make false) ?metrics cfg =
       obs_ring_dropped_c =
         Metrics.counter metrics ~help:"trace-ring records evicted on wrap or refused oversized"
           "obs_ring_records_dropped_total";
+      mine_ticks_c =
+        Metrics.counter metrics ~help:"trace-mining feedback ticks (self-drain + policy)"
+          "obs_mine_ticks_total";
+      mine_sessions_c =
+        Metrics.counter metrics ~help:"kept sessions folded into the mining scoreboard"
+          "obs_mine_sessions_total";
+      mine_pins_c =
+        Metrics.counter metrics ~help:"resident cache entries pinned by the mining policy"
+          "obs_mine_pins_total";
+      mine_prewarms_c =
+        Metrics.counter metrics ~help:"evicted hot shapes pre-warmed (synthesized and pinned)"
+          "obs_mine_prewarms_total";
+      mine_denies_c =
+        Metrics.counter metrics ~help:"shapes deny-listed at admission by the mining policy"
+          "obs_mine_denies_total";
     }
   in
   refresh_cache_gauges srv;

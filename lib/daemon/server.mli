@@ -65,6 +65,24 @@ type config = {
           any session with an exposure violation, retry, expiry or lint
           refusal by re-running it with a live sink — determinism makes
           the replayed trace what head sampling would have recorded. *)
+  mine_every : int;
+      (** every N served requests, self-drain the ring, fold the kept
+          sessions into the {!Trust_obs.Mine} scoreboard and apply the
+          feedback policy (pin/pre-warm and deny below); [0] (the
+          default) disables the loop. The drain consumes the same
+          window the [trace] wire request reads. *)
+  mine_pin : int;
+      (** pin/pre-warm shapes with at least this many retry or expiry
+          incidents on the scoreboard (and no exposure violations);
+          [0] disables pinning *)
+  mine_deny : int;
+      (** deny-list shapes whose kept sessions include at least this
+          many §5 exposure-violating runs; refused submissions answer
+          [refused] with the [TM001] diagnostic. [0] disables. *)
+  defect_every : int;
+      (** fault injection for smokes and soaks: every N-th session's
+          first defectable principal goes silent (the batch Service
+          knob); [0] (the default) injects nothing *)
   banner : string;  (** the [server] field of the welcome *)
 }
 

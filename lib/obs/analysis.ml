@@ -7,6 +7,7 @@ type t = Obs.span_view list
 
 let of_views vs : t = vs
 let of_traces ts : t = List.concat_map Obs.views ts
+let views (vs : t) = vs
 
 (* -- the minimal JSON reader lives in Json; keep local aliases so the
    view-construction code below reads naturally -- *)

@@ -13,6 +13,9 @@ type t
 
 val of_views : Obs.span_view list -> t
 
+val views : t -> Obs.span_view list
+(** The held views back, in their canonical order. *)
+
 val of_traces : Obs.t list -> t
 (** Null sinks contribute nothing, order is preserved. *)
 

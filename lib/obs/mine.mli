@@ -1,0 +1,96 @@
+(** Trace mining: fold kept sessions into a per-shape incident
+    scoreboard.
+
+    The ring retains every anomalous session (violation > retry >
+    expiry > lint, plus the head-sampled baseline) but nothing reads
+    those tails. This module closes the loop: it folds decoded ring
+    records — an offline [TSR1] dump or a live drain — into one row
+    per {e spec shape} (the canonical FNV hash {!Trust_serve.Shape}
+    stamps on every session root span), counting keep reasons,
+    retry/expiry outcomes, exposure-bound violations and per-phase
+    self-time ({!Analysis.phase_stats}). The scoreboard is what the
+    serve/daemon feedback policy consumes: shapes that repeatedly
+    retry or expire are pre-warm/pin candidates; shapes whose tails
+    show §5 exposure violations are deny candidates.
+
+    Everything is a pure function of span views, so the scoreboard is
+    byte-identical whether the views came from a ring dump, a live
+    drain, or the re-parsed JSONL export, and whatever [--jobs]
+    produced them. Sessions are attributed through the deterministic
+    root-span attributes ([shape], [status], [attempts], [violations],
+    [keep], …); a session carrying no [shape] attribute (e.g. a
+    sampled parse failure, which never reaches the scheduler) is
+    folded under the placeholder shape ["-"]. *)
+
+type row = {
+  shape : string;  (** 16-hex canonical FNV shape hash, or ["-"] *)
+  sessions : int;  (** kept sessions folded into this row *)
+  k_sampled : int;  (** keep-reason tallies… *)
+  k_violation : int;
+  k_retry : int;
+  k_expiry : int;
+  k_lint : int;
+  settled : int;  (** …terminal-status tallies… *)
+  expired : int;
+  aborted : int;
+  retried : int;  (** sessions that ran more than one attempt *)
+  attempts : int;  (** summed attempts *)
+  violations : int;  (** summed §5 single-transfer-bound violations *)
+  violation_sessions : int;  (** sessions with at least one violation *)
+  exposure_ticks : int;  (** summed virtual ticks with value at risk *)
+  ticks : int;  (** summed virtual session duration *)
+  self_vt : (string * int) list;  (** per-phase self time, sorted by phase *)
+}
+
+type t
+
+val empty : t
+
+val add_views : t -> Obs.span_view list -> t
+(** Fold every session present in the views (grouped by
+    [view_session]) into the scoreboard. *)
+
+val of_views : Obs.span_view list -> t
+(** [add_views empty]. *)
+
+val of_sessions : Ring.session list -> t
+(** Fold decoded ring sessions — identical to {!of_views} over their
+    concatenated views (the keep reason is read from the [keep] root
+    attribute, not from the ring envelope, so the offline-JSONL path
+    cannot drift). *)
+
+val sessions : t -> int
+(** Total sessions folded. *)
+
+val shapes : t -> int
+(** Distinct shapes observed. *)
+
+val rows : t -> row list
+(** Severity order: violation sessions, then retry+expiry incidents,
+    then traffic, ties broken by shape hex — a total deterministic
+    order. *)
+
+val retry_rate : row -> float
+val expiry_rate : row -> float
+(** Fractions of the row's sessions ([0.] when empty). *)
+
+val pin_candidates : ?min_incidents:int -> t -> string list
+(** Shapes that repeatedly retried or expired ([retried + expired >=
+    min_incidents], default 1) without a single exposure violation —
+    the hot-but-struggling set worth pinning/pre-warming. Hottest
+    first (incidents, then sessions, then shape hex); never includes
+    the placeholder shape. *)
+
+val deny_candidates : ?min_violations:int -> t -> string list
+(** Shapes whose kept sessions show at least [min_violations]
+    (default 1) sessions violating the §5 bound — candidates for
+    refusal at admission. Worst first. *)
+
+val json : t -> string
+(** Canonical JSON (one line): totals plus every row in {!rows} order.
+    Byte-identical for equal scoreboards — the determinism contract
+    tests compare this string. *)
+
+val table : t -> string
+(** {!Report.Table} rendering of {!rows} (keeps abbreviated to
+    [s/v/r/e/l], self time condensed to the top three phases). *)

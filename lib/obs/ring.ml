@@ -316,7 +316,13 @@ let empty_dump = magic ^ "\x00"
 
 type session = { s_id : int; s_clock : int; s_keep : keep; s_views : Obs.span_view list }
 
-type stats = { d_shards : int; d_written : int; d_dropped : int; d_sessions : int }
+type stats = {
+  d_shards : int;
+  d_written : int;
+  d_dropped : int;
+  d_sessions : int;
+  d_skipped : int;
+}
 
 exception Corrupt of string
 
@@ -378,7 +384,7 @@ type open_session = {
   mutable o_spans : building list;  (* reversed creation order *)
 }
 
-let decode_shard sessions r =
+let decode_shard sessions skipped r =
   let current = ref None in
   while r.pos < r.limit do
     let psize = rd_varint r in
@@ -446,7 +452,14 @@ let decode_shard sessions r =
         in
         sessions := { s_id = o.o_id; s_clock = o.o_clock; s_keep = o.o_keep; s_views = views } :: !sessions;
         current := None
-      | Some _ | None -> ())
+      | Some _ | None ->
+        (* a dangling end: the session's begin (and possibly some of
+           its spans) was evicted on wrap. Whole-record eviction is
+           oldest-first and records commit in session order, so every
+           partially-evicted session leaves exactly one of these —
+           counting them counts the sessions the newest-complete-suffix
+           decode had to discard. *)
+        incr skipped)
     | t -> raise (Corrupt (Printf.sprintf "unknown record tag %d" t)));
     r.pos <- stop
   done
@@ -457,14 +470,14 @@ let decode dump =
     if r.limit < 5 || String.sub dump 0 4 <> magic then raise (Corrupt "bad magic (not a TSR1 ring dump)");
     r.pos <- 4;
     let nshards = rd_varint r in
-    let written = ref 0 and dropped = ref 0 in
+    let written = ref 0 and dropped = ref 0 and skipped = ref 0 in
     let sessions = ref [] in
     for _ = 1 to nshards do
       written := !written + rd_varint r;
       dropped := !dropped + rd_varint r;
       let len = rd_varint r in
       if r.pos + len > r.limit then raise (Corrupt "shard overruns the dump");
-      decode_shard sessions { src = dump; pos = r.pos; limit = r.pos + len };
+      decode_shard sessions skipped { src = dump; pos = r.pos; limit = r.pos + len };
       r.pos <- r.pos + len
     done;
     let sessions = List.sort (fun a b -> compare a.s_id b.s_id) !sessions in
@@ -475,6 +488,7 @@ let decode dump =
           d_written = !written;
           d_dropped = !dropped;
           d_sessions = List.length sessions;
+          d_skipped = !skipped;
         } )
   with Corrupt m -> Error m
 

@@ -95,6 +95,9 @@ type stats = {
   d_written : int;  (** lifetime records committed, summed over shards *)
   d_dropped : int;  (** lifetime records evicted/refused, summed *)
   d_sessions : int;  (** complete sessions decoded from this dump *)
+  d_skipped : int;
+      (** wrapped sessions the newest-complete-suffix decode had to
+          discard (their begin record was evicted on wrap) *)
 }
 
 val decode : string -> (session list * stats, string) result

@@ -26,7 +26,13 @@ exception Divergence of string
    [fresh] runs {e under} the shard lock: concurrent lookups of one
    shape serialize, so the first is the single miss and the rest are
    hits, the same tallies a sequential run produces. *)
-type cached = { payload : (entry, string) result; mutable used_epoch : int }
+type cached = {
+  payload : (entry, string) result;
+  mutable used_epoch : int;
+  mutable pinned : bool;  (* exempt from FIFO eviction and epoch aging *)
+}
+
+module Denied = Set.Make (String)
 
 type shard = {
   lock : Mutex.t;
@@ -47,6 +53,11 @@ type t = {
   bypasses : int Atomic.t;
   epoch : int Atomic.t;
       (* advanced only by long-lived services; batch runs stay at 0 *)
+  denied_set : Denied.t Atomic.t;
+      (* shape hashes refused at admission (the trace-mining feedback
+         policy); an immutable set swapped atomically so the per-session
+         read never takes a lock *)
+  denied_hits : int Atomic.t;
 }
 
 let default_shards = 16
@@ -73,6 +84,8 @@ let create ?(capacity = 4096) ?(shards = default_shards) policy =
           });
     bypasses = Atomic.make 0;
     epoch = Atomic.make 0;
+    denied_set = Atomic.make Denied.empty;
+    denied_hits = Atomic.make 0;
   }
 
 let policy t = t.policy
@@ -171,6 +184,33 @@ let verify t spec cached =
               (Shape.hash_hex spec)
               (Trust_analyze.Verifier.explain exposures))))
 
+(* Evict the oldest unpinned resident from [shard] (callers hold the
+   lock). The order queue may hold residue of aged-out keys — popped
+   freely — while pinned victims rotate to the back; [budget] bounds
+   the rotation so an all-pinned shard terminates (and simply runs
+   over capacity until something is unpinned). *)
+let evict_oldest shard =
+  let rec go budget =
+    if budget > 0 then
+      match Queue.take_opt shard.order with
+      | None -> ()
+      | Some victim -> (
+        match Hashtbl.find_opt shard.table victim with
+        | Some c when c.pinned ->
+          Queue.add victim shard.order;
+          go (budget - 1)
+        | Some _ ->
+          Hashtbl.remove shard.table victim;
+          shard.evictions <- shard.evictions + 1
+        | None -> go budget)
+  in
+  go (Queue.length shard.order)
+
+let insert t shard key value ~pinned =
+  if Hashtbl.length shard.table >= t.shard_capacity then evict_oldest shard;
+  Hashtbl.add shard.table key { payload = value; used_epoch = Atomic.get t.epoch; pinned };
+  Queue.add key shard.order
+
 let synthesize t spec =
   if not (Shape.cacheable spec) then begin
     ignore (Atomic.fetch_and_add t.bypasses 1);
@@ -193,24 +233,113 @@ let synthesize t spec =
           (cached.payload, `Hit)
         | None ->
           let value = fresh t.policy spec in
-          if Hashtbl.length shard.table >= t.shard_capacity then begin
-            (* the order queue may hold residue of aged-out keys; pop
-               until a live victim is found *)
-            let rec evict_one () =
-              match Queue.take_opt shard.order with
-              | Some victim when Hashtbl.mem shard.table victim ->
-                Hashtbl.remove shard.table victim;
-                shard.evictions <- shard.evictions + 1
-              | Some _ -> evict_one ()
-              | None -> ()
-            in
-            evict_one ()
-          end;
-          Hashtbl.add shard.table key { payload = value; used_epoch = Atomic.get t.epoch };
-          Queue.add key shard.order;
+          insert t shard key value ~pinned:false;
           shard.misses <- shard.misses + 1;
           (value, `Miss))
   end
+
+(* -- the trace-mining feedback policy: pin, deny, pre-warm --
+
+   All three are keyed by the canonical FNV shape hash in hex — the
+   currency of {!Trust_obs.Mine} scoreboards — because the policy is
+   decided from traces, which carry hashes, not specs. *)
+
+let hex_of_key key = Printf.sprintf "%016Lx" (Shape.fnv1a key)
+
+let shard_of_hex t hex =
+  match Int64.of_string_opt ("0x" ^ hex) with
+  | Some h when String.length hex = 16 ->
+    Some t.shards.(Int64.to_int h land max_int mod Array.length t.shards)
+  | Some _ | None -> None
+
+let set_pinned t hex value =
+  match shard_of_hex t hex with
+  | None -> false
+  | Some shard ->
+    Mutex.lock shard.lock;
+    let changed = ref false in
+    Hashtbl.iter
+      (fun key c ->
+        if c.pinned <> value && String.equal (hex_of_key key) hex then begin
+          c.pinned <- value;
+          changed := true
+        end)
+      shard.table;
+    Mutex.unlock shard.lock;
+    !changed
+
+let pin t hex = set_pinned t hex true
+let unpin t hex = set_pinned t hex false
+
+let pinned t =
+  let acc = ref [] in
+  Array.iter
+    (fun shard ->
+      Mutex.lock shard.lock;
+      Hashtbl.iter (fun key c -> if c.pinned then acc := hex_of_key key :: !acc) shard.table;
+      Mutex.unlock shard.lock)
+    t.shards;
+  List.sort_uniq compare !acc
+
+let pinned_count t =
+  Array.fold_left
+    (fun acc shard ->
+      Mutex.lock shard.lock;
+      let n = Hashtbl.fold (fun _ c acc -> if c.pinned then acc + 1 else acc) shard.table 0 in
+      Mutex.unlock shard.lock;
+      acc + n)
+    0 t.shards
+
+let prewarm t spec =
+  if not (Shape.cacheable spec) then `Uncacheable
+  else begin
+    let key = Shape.encode spec in
+    let shard = t.shards.(shard_of t spec) in
+    Mutex.lock shard.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock shard.lock)
+      (fun () ->
+        match Hashtbl.find_opt shard.table key with
+        | Some cached ->
+          cached.pinned <- true;
+          cached.used_epoch <- Atomic.get t.epoch;
+          (match cached.payload with Ok _ -> `Hit | Error e -> `Failed e)
+        | None ->
+          (* off the traffic path, so neither a hit nor a miss is
+             tallied: hit_rate keeps measuring what clients saw *)
+          let value = fresh t.policy spec in
+          insert t shard key value ~pinned:true;
+          (match value with Ok _ -> `Warmed | Error e -> `Failed e))
+  end
+
+let deny_code = "TM001"
+
+let denied_reason t spec =
+  let d = Atomic.get t.denied_set in
+  if Denied.is_empty d then None
+  else
+    let hex = Shape.hash_hex spec in
+    if Denied.mem hex d then begin
+      ignore (Atomic.fetch_and_add t.denied_hits 1);
+      Some
+        (Printf.sprintf "denied: [%s] shape %s deny-listed by trace mining (exposure violations observed)"
+           deny_code hex)
+    end
+    else None
+
+let rec deny t hex =
+  let d = Atomic.get t.denied_set in
+  if not (Denied.mem hex d) && not (Atomic.compare_and_set t.denied_set d (Denied.add hex d))
+  then deny t hex
+
+let rec allow t hex =
+  let d = Atomic.get t.denied_set in
+  if Denied.mem hex d then
+    if Atomic.compare_and_set t.denied_set d (Denied.remove hex d) then true else allow t hex
+  else false
+
+let denied t = Denied.elements (Atomic.get t.denied_set)
+let denied_count t = Atomic.get t.denied_hits
 
 (* Admission lint is a pure function of the spec, so the serve path
    memoizes the shallow verdict by shape. Returns [None] when the spec
@@ -262,7 +391,7 @@ let advance_epoch ?(max_idle = 2) t =
       Mutex.lock shard.lock;
       let stale = ref [] in
       Hashtbl.iter
-        (fun key c -> if c.used_epoch <= cutoff then stale := key :: !stale)
+        (fun key c -> if c.used_epoch <= cutoff && not c.pinned then stale := key :: !stale)
         shard.table;
       List.iter (Hashtbl.remove shard.table) !stale;
       let n = List.length !stale in

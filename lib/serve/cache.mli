@@ -93,6 +93,56 @@ val advance_epoch : ?max_idle:int -> t -> int
 val aged_out : t -> int
 (** Total entries removed by {!advance_epoch} sweeps. *)
 
+(** {1 Trace-mining feedback: pin, deny, pre-warm}
+
+    The policy lever the {!Trust_obs.Mine} scoreboard pulls. All three
+    operations are keyed by the canonical FNV shape hash in lowercase
+    hex ({!Shape.hash_hex}) — the identifier traces carry — rather
+    than by spec. Pinned entries are exempt from FIFO eviction and
+    epoch aging until unpinned; denied shapes are refused at admission
+    with the [TM001] diagnostic. *)
+
+val pin : t -> string -> bool
+(** Pin the resident entry whose shape hash matches; [false] when no
+    such entry is resident (pre-warm it instead). *)
+
+val unpin : t -> string -> bool
+(** Release a pin; [false] when nothing matched. *)
+
+val pinned : t -> string list
+(** Shape hashes of pinned residents, sorted. *)
+
+val pinned_count : t -> int
+
+val prewarm : t -> Spec.t -> [ `Hit | `Warmed | `Failed of string | `Uncacheable ]
+(** Synthesize (if absent) and pin the spec's entry ahead of traffic.
+    Runs off the traffic path: neither a hit nor a miss is tallied, so
+    {!hit_rate} keeps measuring what clients saw. [`Hit] — already
+    resident, now pinned; [`Warmed] — synthesized, cached, pinned;
+    [`Failed] — synthesis failed (the negative verdict is cached and
+    pinned too); [`Uncacheable] — the spec bypasses the cache. *)
+
+val deny_code : string
+(** ["TM001"] — the diagnostic code of the deny refusal. *)
+
+val deny : t -> string -> unit
+(** Refuse this shape hash at every subsequent admission. *)
+
+val allow : t -> string -> bool
+(** Lift a deny; [false] when the shape was not denied. *)
+
+val denied : t -> string list
+(** Currently denied shape hashes, sorted. *)
+
+val denied_count : t -> int
+(** Admissions refused by the deny list so far. *)
+
+val denied_reason : t -> Spec.t -> string option
+(** [Some "denied: [TM001] …"] when the spec's shape is deny-listed
+    (counting the refusal), [None] otherwise. The scheduler consults
+    this before the admission lint. Lock-free: reads an atomically
+    swapped immutable set. *)
+
 val admission : t -> Spec.t -> string option
 (** Memoized shallow admission lint ([Lint.check_spec ~deep:false]):
     [None] when the spec passes, [Some reason] — the formatted abort

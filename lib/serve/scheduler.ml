@@ -57,6 +57,7 @@ type recorders = {
   expired : Metrics.counter;
   aborted : Metrics.counter;
   lint_rejected : Metrics.counter;
+  admission_denied : Metrics.counter;
   retried_c : Metrics.counter;
   cache_hits : Metrics.counter;
   cache_misses : Metrics.counter;
@@ -81,6 +82,7 @@ let recorders metrics =
         expired = Metrics.counter m ~help:"sessions unwound by the escrow deadline" "serve_sessions_expired_total";
         aborted = Metrics.counter m ~help:"sessions whose synthesis failed" "serve_sessions_aborted_total";
         lint_rejected = Metrics.counter m ~help:"sessions rejected by the admission linter" "serve_sessions_lint_rejected_total";
+        admission_denied = Metrics.counter m ~help:"sessions refused because their shape is deny-listed by trace mining" "serve_admission_denied_total";
         retried_c = Metrics.counter m ~help:"drop-stalled sessions retried once" "serve_sessions_retried_total";
         cache_hits = Metrics.counter m ~help:"protocol cache hits" "serve_cache_hits_total";
         cache_misses = Metrics.counter m ~help:"protocol cache misses or bypasses" "serve_cache_misses_total";
@@ -238,6 +240,13 @@ let process_session ?parent cfg cache policy rec_opt retried obs (session : Sess
      tracing off the verdict comes from the cache's per-shape memo;
      traced runs lint directly so the span carries its tallies. *)
   let lint_reason =
+    (* the trace-mining deny list outranks the linter: a deny-listed
+       shape is refused before any lint or synthesis work, traced or
+       not (the verdict is a lock-free set lookup, identical on both
+       paths) *)
+    match Cache.denied_reason cache session.Session.spec with
+    | Some _ as denied -> denied
+    | None ->
     if Obs.enabled obs then
       match
         List.find_opt
@@ -257,8 +266,9 @@ let process_session ?parent cfg cache policy rec_opt retried obs (session : Sess
     Session.transition session (Session.Aborted reason);
     (* an admission slot is never free, even to reject *)
     session.Session.ticks <- 1;
+    let denied = String.length reason >= 7 && String.sub reason 0 7 = "denied:" in
     record rec_opt (fun r ->
-        Metrics.incr r.lint_rejected;
+        if denied then Metrics.incr r.admission_denied else Metrics.incr r.lint_rejected;
         Metrics.incr r.aborted)
   | None ->
     let verdict, outcome =
@@ -303,10 +313,17 @@ let process_session ?parent cfg cache policy rec_opt retried obs (session : Sess
           (run_once cfg ~obs ~parent:root entry policy session ~drops:false rec_opt)
       | _ -> ())));
   if Obs.enabled obs then begin
+    (* deterministic outcome facts on the session root: everything the
+       trace miner (Trust_obs.Mine) needs to attribute the session to
+       its spec shape and classify the incident — all pure functions of
+       the session record, so identical at any --jobs *)
+    Obs.attr obs root "shape" (Obs.Str (Shape.hash_hex session.Session.spec));
     Obs.attr obs root "status" (Obs.Str (Session.status_label session.Session.status));
     Obs.attr obs root "attempts" (Obs.Int session.Session.attempts);
     Obs.attr obs root "ticks" (Obs.Int session.Session.ticks);
-    Obs.attr obs root "events" (Obs.Int session.Session.events)
+    Obs.attr obs root "events" (Obs.Int session.Session.events);
+    Obs.attr obs root "violations" (Obs.Int session.Session.exposure_violations);
+    Obs.attr obs root "exposure_ticks" (Obs.Int session.Session.exposure_ticks)
   end;
   match session.Session.status with
   | Session.Settled -> record rec_opt (fun r -> Metrics.incr r.settled)
@@ -397,6 +414,11 @@ let run ?metrics ?(obs = Obs.no_batch) ?ring cfg cache sessions =
             slot
           end
         in
+        (* stamp the keep verdict on the root after the fact (attrs on
+           finished spans don't tick the clock): ring dumps and the
+           JSONL export then agree on why each session was retained,
+           which is what lets Mine fold either one identically *)
+        Obs.attr trace (Obs.first_root trace) "keep" (Obs.Str (Ring.keep_label keep));
         Option.iter
           (fun ring ->
             (* runs on the worker domain, so the commit lands in this

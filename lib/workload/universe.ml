@@ -29,6 +29,29 @@ let default_config =
     mix = Gen.default_mix;
   }
 
+(* The regime the trace-mining feedback loop wants to observe: a small,
+   hot catalog (most traffic is a repeated shape, so per-shape incident
+   counts accumulate fast) over deep chains and wide fans (long
+   multi-party runs, the sessions that retry, expire and trip the §5
+   bound when deliveries drop or principals defect). *)
+let defect_heavy =
+  {
+    default_config with
+    template_share = 0.6;
+    templates = 64;
+    s_templates = 1.3;
+    mix =
+      {
+        Gen.default_mix with
+        Gen.sale_weight = 1;
+        chain_weight = 4;
+        max_chain = 4;
+        fan_weight = 4;
+        max_fan = 5;
+        bundle_weight = 1;
+      };
+  }
+
 type t = {
   cfg : config;
   consumers : Zipf.t;

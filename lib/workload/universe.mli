@@ -42,6 +42,15 @@ val default_config : config
     30% of traffic replays a 512-template catalog (s = 1.1);
     {!Gen.default_mix} shapes. *)
 
+val defect_heavy : config
+(** The trace-mining soak profile: {!default_config} reweighted so
+    per-shape incidents accumulate fast — 60% of traffic replays a hot
+    64-template catalog (s = 1.3) and the mix leans into deep chains
+    (weight 4, up to 4 brokers) and wide fans (weight 4, up to 5
+    documents), the long multi-party runs that retry, expire and trip
+    the exposure bound under fault injection. Pair with the daemon's
+    [--defect-every] / [--drop-rate] knobs. *)
+
 type t
 
 val create : config -> t
